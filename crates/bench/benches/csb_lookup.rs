@@ -1,0 +1,36 @@
+//! Criterion bench: CSB+-tree lookups (the paper's Listing 6) —
+//! sequential vs coroutine-interleaved vs the hand-written AMAC state
+//! machine, on an out-of-cache tree.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use isi_csb::{bulk_lookup_amac, bulk_lookup_interleaved, bulk_lookup_seq, CsbTree, DirectTreeStore};
+
+fn bench_csb(c: &mut Criterion) {
+    // ~8M entries: nodes + leaves far exceed typical L2, stressing the
+    // per-level misses the coroutine hides.
+    let n: u32 = 8 << 20;
+    let pairs: Vec<(u32, u32)> = (0..n).map(|i| (i * 3, i)).collect();
+    let tree = CsbTree::from_sorted(&pairs);
+    let store = DirectTreeStore::new(&tree);
+    let probes: Vec<u32> = (0..2000u32).map(|i| (i * 7919) % (3 * n)).collect();
+    let mut out = vec![None; probes.len()];
+
+    let mut g = c.benchmark_group("csb_lookup_8M");
+    g.throughput(Throughput::Elements(probes.len() as u64));
+    g.sample_size(20);
+
+    g.bench_function("sequential", |b| {
+        b.iter(|| bulk_lookup_seq(store, &probes, &mut out))
+    });
+    g.bench_function("coro_g6", |b| {
+        b.iter(|| bulk_lookup_interleaved(store, &probes, 6, &mut out))
+    });
+    g.bench_function("amac_g6", |b| {
+        b.iter(|| bulk_lookup_amac(&store, &probes, 6, &mut out))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_csb);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench: Figure 7's group-size sweep for the coroutine
+//! implementation (wall clock, one out-of-cache size).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use isi_core::mem::DirectMem;
+use isi_search::{bulk_rank_branchfree, bulk_rank_coro};
+use isi_workloads as wl;
+
+fn bench_group_size(c: &mut Criterion) {
+    let table = wl::int_array(wl::ints_for_mb(64));
+    let lookups = wl::uniform_lookups(table.len(), 2000);
+    let mem = DirectMem::new(&table);
+    let mut out = vec![0u32; lookups.len()];
+
+    let mut g = c.benchmark_group("group_size_64MB");
+    g.throughput(Throughput::Elements(lookups.len() as u64));
+    g.sample_size(15);
+
+    g.bench_function("baseline_ref", |b| {
+        b.iter(|| bulk_rank_branchfree(&mem, &lookups, &mut out))
+    });
+    for group in [1usize, 2, 4, 6, 8, 10, 12] {
+        g.bench_function(BenchmarkId::new("coro", group), |b| {
+            b.iter(|| bulk_rank_coro(mem, &lookups, group, &mut out))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_group_size);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench: interleaved hash-table probes (the Section 6
+//! extension) — sequential vs AMAC vs coroutine on an out-of-cache
+//! chained table.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use isi_hash::{bulk_probe_amac, bulk_probe_interleaved, bulk_probe_seq, ChainedHashTable};
+
+fn bench_probe(c: &mut Criterion) {
+    let n: u64 = 8 << 20; // 8M entries ~ 192 MB of buckets+entries
+    let mut table = ChainedHashTable::with_capacity(n as usize);
+    for i in 0..n {
+        table.insert(i.wrapping_mul(0x9E37_79B9_7F4A_7C15), i);
+    }
+    let probes: Vec<u64> = (0..2000u64)
+        .map(|i| (i.wrapping_mul(48271) % (2 * n)).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .collect();
+    let mut out = vec![None; probes.len()];
+
+    let mut g = c.benchmark_group("hash_probe_8M");
+    g.throughput(Throughput::Elements(probes.len() as u64));
+    g.sample_size(20);
+
+    g.bench_function("sequential", |b| {
+        b.iter(|| bulk_probe_seq(&table, &probes, &mut out))
+    });
+    g.bench_function("amac_g6", |b| {
+        b.iter(|| bulk_probe_amac(&table, &probes, 6, &mut out))
+    });
+    g.bench_function("coro_g6", |b| {
+        b.iter(|| bulk_probe_interleaved(&table, &probes, 6, &mut out))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_probe);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion bench: end-to-end IN-predicate queries (Figures 1/8 at one
+//! size) — sequential vs interleaved encode phase on Main and Delta
+//! columns.
+//!
+//! Caveat: Criterion re-runs the *same* predicate list hundreds of
+//! times, so its leaf-level lines become cache-resident and the encode
+//! phase measures scheduler overhead rather than miss hiding. Treat
+//! this as a quick regression check; the `fig1`/`fig8` harness binaries
+//! (fresh values per repetition) are the experiment of record.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use isi_columnstore::{
+    bits_for, execute_in, BitPackedVec, Column, DeltaDictionary, DeltaPart, ExecMode,
+    MainDictionary, MainPart,
+};
+
+fn packed_codes(n: usize, rows: usize) -> BitPackedVec {
+    let mut codes = BitPackedVec::with_width(bits_for(n));
+    let mut x = 0x2545_F491_4F6C_DD1Du64;
+    for _ in 0..rows {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        codes.push((x % n as u64) as u32);
+    }
+    codes
+}
+
+fn bench_in_predicate(c: &mut Criterion) {
+    let n = 16 << 20; // 64 MB dictionary
+    let rows = 1 << 20;
+    let values: Vec<u32> = isi_workloads::uniform_lookups(n, 2000);
+
+    let main_col = Column {
+        main: MainPart {
+            dict: MainDictionary::from_sorted((0..n as u32).collect()),
+            codes: packed_codes(n, rows),
+        },
+        delta: Default::default(),
+    };
+    let delta_col = Column {
+        main: MainPart {
+            dict: MainDictionary::from_sorted(Vec::new()),
+            codes: BitPackedVec::new(),
+        },
+        delta: DeltaPart {
+            dict: DeltaDictionary::from_values(isi_workloads::shuffled_indices(n, 42)),
+            codes: packed_codes(n, rows),
+        },
+    };
+
+    let mut g = c.benchmark_group("in_predicate_64MB_dict");
+    g.throughput(Throughput::Elements(values.len() as u64));
+    g.sample_size(10);
+
+    g.bench_function("main_sequential", |b| {
+        b.iter(|| execute_in(&main_col, &values, ExecMode::Sequential))
+    });
+    g.bench_function("main_interleaved_g6", |b| {
+        b.iter(|| execute_in(&main_col, &values, ExecMode::Interleaved(6)))
+    });
+    g.bench_function("delta_sequential", |b| {
+        b.iter(|| execute_in(&delta_col, &values, ExecMode::Sequential))
+    });
+    g.bench_function("delta_interleaved_g6", |b| {
+        b.iter(|| execute_in(&delta_col, &values, ExecMode::Interleaved(6)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_in_predicate);
+criterion_main!(benches);

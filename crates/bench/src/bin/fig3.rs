@@ -1,0 +1,64 @@
+//! Figure 3 — binary searches over a sorted array: cycles per search vs
+//! array size, for int (a) and string (b) keys, five implementations.
+//!
+//! Wall-clock on this machine's real memory hierarchy. Note the LLC
+//! here is ~260 MB (vs the paper's 25 MB), so the sequential/interleaved
+//! divergence moves right accordingly; run `fig5`/`fig6` for the
+//! simulator configured with the paper's cache sizes.
+//!
+//! Usage: `cargo run --release -p isi-bench --bin fig3`
+//! (`ISI_MAX_MB=2048 ISI_LOOKUPS=10000` to reproduce the full sweep).
+
+use isi_bench::wall::{cycles_per_search, SearchImpl};
+use isi_bench::{banner, size_sweep_mb, HarnessCfg};
+use isi_workloads as wl;
+
+fn main() {
+    let cfg = HarnessCfg::from_env();
+    banner(
+        "Figure 3: binary searches over sorted array (cycles per search, x100)",
+        &cfg,
+    );
+    let (g_gp, g_amac, g_coro) = cfg.groups;
+    let impls = [
+        SearchImpl::Std,
+        SearchImpl::Baseline,
+        SearchImpl::Gp(g_gp),
+        SearchImpl::Amac(g_amac),
+        SearchImpl::Coro(g_coro),
+    ];
+
+    println!("\n## (a) integer array");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "size", "std", "Baseline", "GP", "AMAC", "CORO"
+    );
+    for mb in size_sweep_mb(cfg.max_mb) {
+        let table = wl::int_array(wl::ints_for_mb(mb));
+        let lookups = wl::uniform_lookups(table.len(), cfg.lookups);
+        print!("{:>6}MB", mb);
+        for impl_ in impls {
+            let c = cycles_per_search(&table, &lookups, impl_, cfg.reps, cfg.cycles_per_ns());
+            print!(" {:>10.2}", c / 100.0);
+        }
+        println!();
+    }
+
+    println!("\n## (b) string array (15-char keys)");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "size", "std", "Baseline", "GP", "AMAC", "CORO"
+    );
+    for mb in size_sweep_mb(cfg.max_mb) {
+        let table = wl::string_array(wl::strings_for_mb(mb));
+        let lookups = wl::uniform_string_lookups(table.len(), cfg.lookups);
+        print!("{:>6}MB", mb);
+        for impl_ in impls {
+            let c = cycles_per_search(&table, &lookups, impl_, cfg.reps, cfg.cycles_per_ns());
+            print!(" {:>10.2}", c / 100.0);
+        }
+        println!();
+    }
+    println!("\n# paper shape: interleaved (GP/AMAC/CORO) flat-ish; sequential rises past the LLC;");
+    println!("# GP fastest, CORO ~ AMAC; string curves smoother than int.");
+}

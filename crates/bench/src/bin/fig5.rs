@@ -1,0 +1,59 @@
+//! Figure 5 — execution-time breakdown of binary search (TMAM pipeline
+//! categories) per implementation and array size, on the simulator
+//! configured as the paper's Haswell Xeon (25 MB LLC, 182-cycle DRAM).
+//!
+//! Usage: `cargo run --release -p isi-bench --bin fig5`
+//! (`ISI_MAX_MB=1024` extends the sweep; sizes are simulated, so memory
+//! usage is the array itself plus small cache-tag state).
+
+use isi_bench::sim::SimBench;
+use isi_bench::wall::SearchImpl;
+use isi_bench::{banner, size_sweep_mb, HarnessCfg};
+
+fn main() {
+    let cfg = HarnessCfg::from_env();
+    banner(
+        "Figure 5: execution-time breakdown (simulated cycles per search, x100)",
+        &cfg,
+    );
+    let (g_gp, g_amac, g_coro) = cfg.groups;
+    let impls = [
+        ("std", SearchImpl::Std),
+        ("Baseline", SearchImpl::Baseline),
+        ("GP", SearchImpl::Gp(g_gp)),
+        ("AMAC", SearchImpl::Amac(g_amac)),
+        ("CORO", SearchImpl::Coro(g_coro)),
+    ];
+    let lookups = cfg.lookups.min(4000); // per-phase; plenty for steady state
+    println!(
+        "\n{:<10} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "impl", "size", "total", "frontend", "badspec", "memory", "core", "retiring"
+    );
+    for (name, impl_) in impls {
+        let mut b_last: Option<SimBench> = None;
+        for mb in size_sweep_mb(cfg.max_mb) {
+            // Fresh machine per size (array base addresses differ).
+            let mut b = SimBench::new(mb, lookups);
+            let vals = b.fresh(lookups);
+            let s = b.run(impl_, &vals);
+            let per = |x: f64| x / lookups as f64 / 100.0;
+            println!(
+                "{:<10} {:>6}MB {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
+                name,
+                mb,
+                per(s.cycles),
+                per(s.frontend),
+                per(s.bad_spec),
+                per(s.memory),
+                per(s.core),
+                per(s.retiring)
+            );
+            b_last = Some(b);
+        }
+        drop(b_last);
+        println!();
+    }
+    println!("# paper shape: memory stalls dominate std/Baseline out of cache; GP keeps");
+    println!("# some memory stalls; AMAC/CORO trade them for retiring/core cycles; std");
+    println!("# carries a large bad-speculation component at every size.");
+}

@@ -1,0 +1,48 @@
+//! Figure 6 — breakdown of L1D misses per search by where the load was
+//! served (LFB / L2 / L3 / DRAM), on the simulator configured as the
+//! paper's machine.
+//!
+//! Usage: `cargo run --release -p isi-bench --bin fig6`
+
+use isi_bench::sim::SimBench;
+use isi_bench::wall::SearchImpl;
+use isi_bench::{banner, size_sweep_mb, HarnessCfg};
+
+fn main() {
+    let cfg = HarnessCfg::from_env();
+    banner("Figure 6: L1D-miss breakdown (loads per search)", &cfg);
+    let (g_gp, g_amac, g_coro) = cfg.groups;
+    let impls = [
+        ("std", SearchImpl::Std),
+        ("Baseline", SearchImpl::Baseline),
+        ("GP", SearchImpl::Gp(g_gp)),
+        ("AMAC", SearchImpl::Amac(g_amac)),
+        ("CORO", SearchImpl::Coro(g_coro)),
+    ];
+    let lookups = cfg.lookups.min(4000);
+    println!(
+        "\n{:<10} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "impl", "size", "LFB", "L2", "L3", "DRAM", "total-miss"
+    );
+    for (name, impl_) in impls {
+        for mb in size_sweep_mb(cfg.max_mb) {
+            let mut b = SimBench::new(mb, lookups);
+            let vals = b.fresh(lookups);
+            let s = b.run(impl_, &vals);
+            let per = |x: u64| x as f64 / lookups as f64;
+            println!(
+                "{:<10} {:>6}MB {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
+                name,
+                mb,
+                per(s.lfb_hits),
+                per(s.l2_hits),
+                per(s.l3_hits),
+                per(s.dram_loads),
+                per(s.l1_misses())
+            );
+        }
+        println!();
+    }
+    println!("# paper shape: sequential misses are L2/L3/DRAM demand loads; with");
+    println!("# interleaving most L1D misses become LFB hits on prefetched lines.");
+}

@@ -1,0 +1,105 @@
+//! Section 6 — "Interleaving and NUMA effects": the paper conjectures
+//! that interleaving becomes *more* beneficial with remote memory
+//! accesses, "assuming there is enough work to hide the increased
+//! memory latency" — i.e. the optimal group size grows with latency.
+//!
+//! We test the conjecture on the simulator by sweeping the DRAM latency
+//! from the paper's local 182 cycles to remote-socket territory
+//! (~2.3x), measuring baseline vs CORO at several group sizes.
+//!
+//! Usage: `cargo run --release -p isi-bench --bin numa_latency`
+
+use isi_bench::{banner, HarnessCfg};
+use isi_memsim::{MachineConfig, MachineStats, SharedMachine, SimArray};
+use isi_search::{bulk_rank_coro, rank_branchfree, rank_oracle};
+
+struct Bench {
+    machine: SharedMachine,
+    arr: SimArray<u32>,
+    rng: u64,
+    n: usize,
+}
+
+impl Bench {
+    fn new(mb: usize, dram_latency: u32, warm: usize) -> Self {
+        let mut cfg = MachineConfig::haswell_xeon();
+        cfg.dram_latency = dram_latency;
+        let machine = SharedMachine::new(isi_memsim::Machine::new(cfg));
+        let n = mb * (1 << 20) / 4;
+        let arr = SimArray::new(&machine, (0..n as u32).collect());
+        let mut b = Self {
+            machine,
+            arr,
+            rng: 0x2545_F491_4F6C_DD1D,
+            n,
+        };
+        let w = b.fresh(warm);
+        b.baseline(&w);
+        b
+    }
+
+    fn fresh(&mut self, count: usize) -> Vec<u32> {
+        (0..count)
+            .map(|_| {
+                self.rng ^= self.rng << 13;
+                self.rng ^= self.rng >> 7;
+                self.rng ^= self.rng << 17;
+                (self.rng % self.n as u64) as u32
+            })
+            .collect()
+    }
+
+    fn baseline(&self, vals: &[u32]) -> MachineStats {
+        self.machine.reset_stats();
+        let mem = self.arr.mem();
+        for v in vals {
+            assert_eq!(rank_branchfree(&mem, *v), rank_oracle(self.arr.raw(), v));
+        }
+        self.machine.stats()
+    }
+
+    fn coro(&self, vals: &[u32], group: usize) -> MachineStats {
+        self.machine.reset_stats();
+        let mut out = vec![0u32; vals.len()];
+        bulk_rank_coro(self.arr.mem(), vals, group, &mut out);
+        std::hint::black_box(&out);
+        self.machine.stats()
+    }
+}
+
+fn main() {
+    let cfg = HarnessCfg::from_env();
+    banner(
+        "Section 6: interleaving under NUMA-like memory latency (simulated)",
+        &cfg,
+    );
+    let mb = 64.min(cfg.max_mb.max(16));
+    let lookups = cfg.lookups.min(3000);
+    println!(
+        "\n{:>9} {:>10} {:>8} {:>8} {:>8} {:>8} {:>10} {:>7}",
+        "DRAM lat", "Baseline", "G=4", "G=6", "G=8", "G=12", "best spdup", "best G"
+    );
+    // 182 = the paper's local socket; ~300 and ~420 model one- and
+    // two-hop remote accesses.
+    for lat in [120u32, 182, 300, 420] {
+        let mut b = Bench::new(mb, lat, lookups);
+        let base_vals = b.fresh(lookups);
+        let base = b.baseline(&base_vals).cycles / lookups as f64;
+        let mut row = Vec::new();
+        let mut best = (0usize, f64::INFINITY);
+        for g in [4usize, 6, 8, 12] {
+            let vals = b.fresh(lookups);
+            let c = b.coro(&vals, g).cycles / lookups as f64;
+            if c < best.1 {
+                best = (g, c);
+            }
+            row.push(c);
+        }
+        println!(
+            "{:>6}cyc {:>10.0} {:>8.0} {:>8.0} {:>8.0} {:>8.0} {:>9.2}x {:>7}",
+            lat, base, row[0], row[1], row[2], row[3], base / best.1, best.0
+        );
+    }
+    println!("\n# paper's conjecture: higher (remote) latency -> larger interleaving win,");
+    println!("# provided the group grows to supply the extra cover (best G shifts right).");
+}

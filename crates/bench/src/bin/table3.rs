@@ -1,0 +1,70 @@
+//! Table 3 — properties of the interleaving techniques, with the
+//! qualitative columns of the paper plus *measured* quantities from this
+//! reproduction: per-switch overhead cycles (simulator profile) and
+//! added code complexity (the Table 5 LoC analysis).
+//!
+//! Usage: `cargo run --release -p isi-bench --bin table3`
+
+use isi_bench::loc::table5_rows;
+use isi_bench::sim::SimBench;
+use isi_bench::wall::SearchImpl;
+use isi_bench::{banner, HarnessCfg};
+
+fn main() {
+    let cfg = HarnessCfg::from_env();
+    banner("Table 3: properties of interleaving techniques", &cfg);
+    let lookups = cfg.lookups.min(3000);
+
+    // Measure switch overhead: retiring+core cycles per miss at G=1,
+    // relative to the branch-free baseline (§5.4.5 methodology).
+    let mut b = SimBench::new(64.min(cfg.max_mb.max(16)), lookups);
+    let vals = b.fresh(lookups);
+    let base = b.run(SearchImpl::Baseline, &vals);
+    let misses = base.l1_misses() as f64;
+    let base_work = (base.retiring + base.core) / misses;
+    let mut switch_cost = |impl_: SearchImpl| -> f64 {
+        let vals = b.fresh(lookups);
+        let s = b.run(impl_, &vals);
+        ((s.retiring + s.core) / s.l1_misses().max(1) as f64 - base_work).max(0.0)
+    };
+    let gp_sw = switch_cost(SearchImpl::Gp(1));
+    let amac_sw = switch_cost(SearchImpl::Amac(1));
+    let coro_sw = switch_cost(SearchImpl::Coro(1));
+
+    let loc = table5_rows();
+    let diff = |t: &str| {
+        loc.iter()
+            .find(|r| r.technique == t)
+            .map(|r| r.diff_to_original)
+            .unwrap_or(0)
+    };
+
+    println!(
+        "\n{:<12} {:>12} {:>24} {:>26}",
+        "Technique", "IS Coupling", "IS Switch Overhead", "Added Code Complexity"
+    );
+    println!(
+        "{:<12} {:>12} {:>17.1} cyc/sw {:>20} LoC",
+        "GP",
+        "Yes",
+        gp_sw,
+        diff("GP")
+    );
+    println!(
+        "{:<12} {:>12} {:>17.1} cyc/sw {:>20} LoC",
+        "AMAC",
+        "No",
+        amac_sw,
+        diff("AMAC")
+    );
+    println!(
+        "{:<12} {:>12} {:>17.1} cyc/sw {:>20} LoC",
+        "Coroutines",
+        "No",
+        coro_sw,
+        diff("CORO-U")
+    );
+    println!("\n# paper: GP very-low overhead / high complexity; AMAC low / very high;");
+    println!("# coroutines low / very low.");
+    assert!(gp_sw <= amac_sw + 1.0 && gp_sw <= coro_sw + 1.0, "GP has least overhead");
+}

@@ -1,0 +1,42 @@
+//! Table 5 — implementation complexity and code footprint of the ISI
+//! techniques, measured on this repository's own marked sources (see
+//! `isi_bench::loc` for the metric definitions).
+//!
+//! Usage: `cargo run -p isi-bench --bin table5`
+
+use isi_bench::loc::table5_rows;
+
+fn main() {
+    println!("# Table 5: implementation complexity and code footprint (LoC)");
+    println!("# measured on crates/search/src/{{seq,gp,amac,coro}}.rs marked regions\n");
+    println!(
+        "{:<22} {:>6} {:>6} {:>8} {:>8}",
+        "", "GP", "AMAC", "CORO-U", "CORO-S"
+    );
+    let rows = table5_rows();
+    let get = |t: &str| rows.iter().find(|r| r.technique == t).unwrap();
+    let (gp, amac, u, s) = (get("GP"), get("AMAC"), get("CORO-U"), get("CORO-S"));
+    println!(
+        "{:<22} {:>6} {:>6} {:>8} {:>8}",
+        "Interleaved", gp.interleaved, amac.interleaved, u.interleaved, s.interleaved
+    );
+    println!(
+        "{:<22} {:>6} {:>6} {:>8} {:>8}",
+        "  Diff-to-original",
+        gp.diff_to_original,
+        amac.diff_to_original,
+        u.diff_to_original,
+        s.diff_to_original
+    );
+    println!(
+        "{:<22} {:>6} {:>6} {:>8} {:>8}",
+        "Total Code Footprint",
+        gp.total_footprint,
+        amac.total_footprint,
+        u.total_footprint,
+        s.total_footprint
+    );
+    println!("\n# paper (C++): interleaved 24/67/15/18; diff 18/64/6/9; footprint 35/78/16/29.");
+    println!("# Expected ordering: CORO-U smallest diff & footprint; AMAC largest; both");
+    println!("# CORO variants well below GP and AMAC.");
+}

@@ -1,0 +1,113 @@
+//! Section 6 extension — "Interleaving and TLB misses": a B+-tree on top
+//! of the sorted array confines each node's accesses to few pages,
+//! sparing the page walks that binary search over a huge array incurs
+//! (and that interleaving cannot hide, §5.4.3).
+//!
+//! Compares, on the simulator: binary search (Baseline and CORO) vs
+//! CSB+-tree lookups (sequential and CORO) over the same key set —
+//! reporting page walks per lookup and cycles per lookup.
+//!
+//! Usage: `cargo run --release -p isi-bench --bin tlb_index`
+
+use isi_bench::sim::SimBench;
+use isi_bench::wall::SearchImpl;
+use isi_bench::{banner, HarnessCfg};
+use isi_core::sched::{run_interleaved, run_sequential};
+use isi_csb::{lookup_coro, CsbTree, SimTreeStore};
+use isi_memsim::{MachineStats, SharedMachine};
+
+fn walks(s: &MachineStats) -> f64 {
+    (s.pw_l1 + s.pw_l2 + s.pw_l3 + s.pw_dram) as f64
+}
+
+fn main() {
+    let cfg = HarnessCfg::from_env();
+    banner(
+        "TLB extension: binary search vs B+-tree over the sorted array (simulated)",
+        &cfg,
+    );
+    let lookups = cfg.lookups.min(3000);
+    println!(
+        "\n{:>8} {:<18} {:>12} {:>14}",
+        "size", "method", "cycles/lkp", "pagewalks/lkp"
+    );
+
+    for mb in [64usize, cfg.max_mb.max(128)] {
+        // Binary search on the flat array.
+        let mut b = SimBench::new(mb, lookups);
+        for (name, impl_) in [
+            ("binsearch-seq", SearchImpl::Baseline),
+            ("binsearch-coro", SearchImpl::Coro(cfg.groups.2)),
+        ] {
+            let vals = b.fresh(lookups);
+            let s = b.run(impl_, &vals);
+            println!(
+                "{:>6}MB {:<18} {:>12.0} {:>14.2}",
+                mb,
+                name,
+                s.cycles / lookups as f64,
+                walks(&s) / lookups as f64
+            );
+        }
+        drop(b);
+
+        // CSB+-tree over the same sorted keys (key -> its index).
+        let n = mb * (1 << 20) / 4;
+        let pairs: Vec<(u32, u32)> = (0..n as u32).map(|k| (k, k)).collect();
+        let tree = CsbTree::from_sorted(&pairs);
+        let machine = SharedMachine::haswell();
+        let store = SimTreeStore::from_tree(&machine, &tree);
+        drop(tree);
+        let mut rng = 0x2545_F491_4F6C_DD1Du64;
+        let mut fresh = |count: usize| -> Vec<u32> {
+            (0..count)
+                .map(|_| {
+                    rng ^= rng << 13;
+                    rng ^= rng >> 7;
+                    rng ^= rng << 17;
+                    (rng % n as u64) as u32
+                })
+                .collect()
+        };
+        // Warm top levels.
+        let warm = fresh(lookups);
+        run_sequential(
+            warm.iter().copied(),
+            |v| lookup_coro::<false, u32, u32, _>(&store, v),
+            |_, r| assert!(r.is_some()),
+        );
+        for (name, group) in [("csbtree-seq", None), ("csbtree-coro", Some(cfg.groups.2))] {
+            machine.reset_stats();
+            let vals = fresh(lookups);
+            match group {
+                None => {
+                    run_sequential(
+                        vals.iter().copied(),
+                        |v| lookup_coro::<false, u32, u32, _>(&store, v),
+                        |_, r| assert!(r.is_some()),
+                    );
+                }
+                Some(g) => {
+                    run_interleaved(
+                        g,
+                        vals.iter().copied(),
+                        |v| lookup_coro::<true, u32, u32, _>(&store, v),
+                        |_, r| assert!(r.is_some()),
+                    );
+                }
+            }
+            let s = machine.stats();
+            println!(
+                "{:>6}MB {:<18} {:>12.0} {:>14.2}",
+                mb,
+                name,
+                s.cycles / lookups as f64,
+                walks(&s) / lookups as f64
+            );
+        }
+        println!();
+    }
+    println!("# expected shape: the tree performs far fewer page walks per lookup than");
+    println!("# flat binary search (few node touches vs ~log2(n) scattered probes), and");
+    println!("# both structures benefit from interleaving on top.");
+}

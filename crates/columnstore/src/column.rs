@@ -1,0 +1,292 @@
+//! Columns: the HANA-style two-part encoded representation and the
+//! delta merge.
+//!
+//! A [`Column`] has a read-optimized [`MainPart`] (sorted dictionary +
+//! bit-packed code vector) and an update-friendly [`DeltaPart`]
+//! (unsorted dictionary + CSB+-tree index + code vector). Appends go to
+//! the delta; a [`Column::merge_delta`] folds the delta into a fresh
+//! main part, re-coding both code vectors — the classic delta-merge
+//! lifecycle the paper's Figure 8 setup assumes.
+
+use isi_search::key::SearchKey;
+
+use crate::codevec::{bits_for, BitPackedVec};
+use crate::dict::{DeltaDictionary, MainDictionary};
+
+/// Read-optimized column part.
+#[derive(Debug, Clone, Default)]
+pub struct MainPart<K> {
+    /// Sorted dictionary.
+    pub dict: MainDictionary<K>,
+    /// Bit-packed codes, one per row.
+    pub codes: BitPackedVec,
+}
+
+impl<K: SearchKey> MainPart<K> {
+    /// Build from raw row values: the dictionary is their sorted
+    /// distinct set; codes are the positions.
+    pub fn from_rows(rows: &[K]) -> Self {
+        let mut distinct: Vec<K> = rows.to_vec();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let dict = MainDictionary::from_sorted(distinct);
+        let mut codes = BitPackedVec::with_width(bits_for(dict.len().max(1)));
+        for r in rows {
+            let code = dict
+                .locate(*r)
+                .expect("row value must be in its own dictionary");
+            codes.push(code);
+        }
+        Self { dict, codes }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Decode row `idx`.
+    pub fn get(&self, idx: usize) -> K {
+        self.dict.extract(self.codes.get(idx))
+    }
+}
+
+/// Update-friendly column part.
+#[derive(Debug, Clone)]
+pub struct DeltaPart<K> {
+    /// Arrival-ordered dictionary with CSB+-tree index.
+    pub dict: DeltaDictionary<K>,
+    /// Bit-packed codes, one per appended row.
+    pub codes: BitPackedVec,
+}
+
+impl<K: SearchKey + Default> DeltaPart<K> {
+    /// An empty delta.
+    pub fn new() -> Self {
+        Self {
+            dict: DeltaDictionary::new(),
+            codes: BitPackedVec::new(),
+        }
+    }
+
+    /// Append one row value.
+    pub fn append(&mut self, value: K) {
+        let code = self.dict.insert_or_get(value);
+        self.codes.push(code);
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Decode row `idx`.
+    pub fn get(&self, idx: usize) -> K {
+        self.dict.extract(self.codes.get(idx))
+    }
+}
+
+impl<K: SearchKey + Default> Default for DeltaPart<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A dictionary-encoded column with Main and Delta parts. Row ids are
+/// global: main rows first, then delta rows in append order.
+#[derive(Debug, Clone)]
+pub struct Column<K> {
+    /// The read-optimized part.
+    pub main: MainPart<K>,
+    /// The update-friendly part.
+    pub delta: DeltaPart<K>,
+}
+
+impl<K: SearchKey + Default> Column<K> {
+    /// An empty column.
+    pub fn new() -> Self {
+        Self {
+            main: MainPart {
+                dict: MainDictionary::from_sorted(Vec::new()),
+                codes: BitPackedVec::new(),
+            },
+            delta: DeltaPart::new(),
+        }
+    }
+
+    /// A column whose main part holds `rows` and whose delta is empty.
+    pub fn from_rows(rows: &[K]) -> Self {
+        Self {
+            main: MainPart::from_rows(rows),
+            delta: DeltaPart::new(),
+        }
+    }
+
+    /// Append a row (goes to the delta).
+    pub fn append(&mut self, value: K) {
+        self.delta.append(value);
+    }
+
+    /// Total rows across both parts.
+    pub fn rows(&self) -> usize {
+        self.main.rows() + self.delta.rows()
+    }
+
+    /// Decode global row `idx`.
+    ///
+    /// # Panics
+    /// Panics if `idx >= rows()`.
+    pub fn get(&self, idx: usize) -> K {
+        if idx < self.main.rows() {
+            self.main.get(idx)
+        } else {
+            self.delta.get(idx - self.main.rows())
+        }
+    }
+
+    /// Delta merge: fold the delta into a new main part.
+    ///
+    /// The new main dictionary is the sorted union of both dictionaries;
+    /// both code vectors are re-coded against it and concatenated. The
+    /// delta becomes empty. Row ids are preserved.
+    pub fn merge_delta(&mut self) {
+        if self.delta.rows() == 0 && self.delta.dict.is_empty() {
+            return;
+        }
+        // Sorted union of the two value domains.
+        let mut union: Vec<K> = self
+            .main
+            .dict
+            .values()
+            .iter()
+            .chain(self.delta.dict.values())
+            .copied()
+            .collect();
+        union.sort_unstable();
+        union.dedup();
+        let new_dict = MainDictionary::from_sorted(union);
+
+        // Old-code -> new-code mappings for both parts.
+        let main_map: Vec<u32> = self
+            .main
+            .dict
+            .values()
+            .iter()
+            .map(|v| new_dict.locate(*v).expect("union contains main values"))
+            .collect();
+        let delta_map: Vec<u32> = self
+            .delta
+            .dict
+            .values()
+            .iter()
+            .map(|v| new_dict.locate(*v).expect("union contains delta values"))
+            .collect();
+
+        let mut codes = BitPackedVec::with_width(bits_for(new_dict.len().max(1)));
+        for c in self.main.codes.iter() {
+            codes.push(main_map[c as usize]);
+        }
+        for c in self.delta.codes.iter() {
+            codes.push(delta_map[c as usize]);
+        }
+
+        self.main = MainPart {
+            dict: new_dict,
+            codes,
+        };
+        self.delta = DeltaPart::new();
+    }
+}
+
+impl<K: SearchKey + Default> Default for Column<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn main_part_encodes_and_decodes() {
+        let rows = vec![30u32, 10, 20, 10, 30, 30];
+        let m = MainPart::from_rows(&rows);
+        assert_eq!(m.dict.len(), 3);
+        assert_eq!(m.rows(), 6);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(m.get(i), *r);
+        }
+        // 3 distinct values -> 2-bit codes.
+        assert_eq!(m.codes.width(), 2);
+    }
+
+    #[test]
+    fn column_append_and_get_across_parts() {
+        let mut c = Column::from_rows(&[5u32, 7, 5]);
+        c.append(9);
+        c.append(7);
+        assert_eq!(c.rows(), 5);
+        let all: Vec<u32> = (0..c.rows()).map(|i| c.get(i)).collect();
+        assert_eq!(all, vec![5, 7, 5, 9, 7]);
+    }
+
+    #[test]
+    fn merge_preserves_logical_content() {
+        let mut c = Column::from_rows(&[50u32, 10, 30]);
+        for v in [20u32, 50, 60, 10] {
+            c.append(v);
+        }
+        let before: Vec<u32> = (0..c.rows()).map(|i| c.get(i)).collect();
+        c.merge_delta();
+        let after: Vec<u32> = (0..c.rows()).map(|i| c.get(i)).collect();
+        assert_eq!(before, after);
+        assert_eq!(c.delta.rows(), 0);
+        assert_eq!(c.delta.dict.len(), 0);
+        // Dictionary is the sorted union.
+        assert_eq!(c.main.dict.values(), &[10, 20, 30, 50, 60]);
+    }
+
+    #[test]
+    fn merge_of_empty_delta_is_noop() {
+        let mut c = Column::from_rows(&[1u32, 2]);
+        let dict_before = c.main.dict.values().to_vec();
+        c.merge_delta();
+        assert_eq!(c.main.dict.values(), &dict_before[..]);
+    }
+
+    #[test]
+    fn merge_into_empty_main() {
+        let mut c = Column::<u32>::new();
+        for v in [9u32, 3, 9, 1] {
+            c.append(v);
+        }
+        c.merge_delta();
+        assert_eq!(c.main.dict.values(), &[1, 3, 9]);
+        let all: Vec<u32> = (0..c.rows()).map(|i| c.get(i)).collect();
+        assert_eq!(all, vec![9, 3, 9, 1]);
+    }
+
+    #[test]
+    fn repeated_merges() {
+        let mut c = Column::<u32>::new();
+        let mut expect = Vec::new();
+        for round in 0..5u32 {
+            for i in 0..100 {
+                let v = (i * 7 + round) % 50;
+                c.append(v);
+                expect.push(v);
+            }
+            c.merge_delta();
+            let all: Vec<u32> = (0..c.rows()).map(|i| c.get(i)).collect();
+            assert_eq!(all, expect, "round {round}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn get_out_of_bounds_panics() {
+        let c = Column::from_rows(&[1u32]);
+        c.get(1);
+    }
+}

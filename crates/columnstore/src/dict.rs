@@ -1,0 +1,474 @@
+//! Dictionaries: the always-indexed relations of the paper's
+//! introduction, with the two access methods of Section 2.1 —
+//! `extract(code) -> value` and `locate(value) -> code`.
+//!
+//! * [`MainDictionary`]: a sorted array of the distinct domain values;
+//!   codes are array positions, `extract` is an array read, `locate` is
+//!   a binary search — any of the five `isi-search` implementations.
+//! * [`DeltaDictionary`]: an *unsorted* array that appends new values in
+//!   arrival order, indexed by a CSB+-tree for `locate`. Following the
+//!   HANA design the paper describes in Section 5.5, the tree's leaves
+//!   conceptually hold **codes**, so every leaf comparison fetches the
+//!   actual value from the dictionary array — an extra suspension point
+//!   in the interleaved lookup.
+
+use isi_core::coro::suspend;
+use isi_core::mem::{DirectMem, IndexedMem};
+use isi_core::sched::{run_interleaved, run_sequential};
+use isi_csb::{CsbTree, TreeStore};
+use isi_search::key::SearchKey;
+use isi_search::locate::NOT_FOUND;
+use isi_search::{bulk_rank_amac, bulk_rank_coro, bulk_rank_coro_seq, bulk_rank_gp, cost};
+
+/// How a bulk `locate` executes (paper §5.1's five implementations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LocateStrategy {
+    /// Branchy sequential search (`std`).
+    Branchy,
+    /// Branch-free sequential search (`Baseline`).
+    BranchFree,
+    /// Group prefetching with this group size.
+    Gp(usize),
+    /// AMAC with this group size.
+    Amac(usize),
+    /// The coroutine, run sequentially (`INTERLEAVE = false`).
+    CoroSequential,
+    /// The coroutine, interleaved with this group size.
+    Coro(usize),
+}
+
+/// Read-optimized dictionary: sorted distinct values; code = position.
+#[derive(Debug, Clone, Default)]
+pub struct MainDictionary<K> {
+    values: Vec<K>,
+}
+
+impl<K: SearchKey> MainDictionary<K> {
+    /// Build from sorted, distinct values.
+    ///
+    /// # Panics
+    /// Panics if `values` is not strictly sorted.
+    pub fn from_sorted(values: Vec<K>) -> Self {
+        for w in values.windows(2) {
+            assert!(w[0] < w[1], "main dictionary must be strictly sorted");
+        }
+        Self { values }
+    }
+
+    /// Number of distinct values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The sorted value array.
+    pub fn values(&self) -> &[K] {
+        &self.values
+    }
+
+    /// `extract`: the value for `code`.
+    ///
+    /// # Panics
+    /// Panics if `code` is out of range.
+    #[inline]
+    pub fn extract(&self, code: u32) -> K {
+        self.values[code as usize]
+    }
+
+    /// `locate` one value (branch-free binary search).
+    pub fn locate(&self, value: K) -> Option<u32> {
+        isi_search::locate(&DirectMem::new(&self.values), value)
+    }
+
+    /// Bulk `locate` with a chosen execution strategy. Absent values map
+    /// to [`NOT_FOUND`]. This is the index join `S ⋈ D` of Section 2.1.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != values.len()`.
+    pub fn bulk_locate(&self, lookups: &[K], strategy: LocateStrategy, out: &mut [u32]) {
+        assert_eq!(lookups.len(), out.len(), "output length mismatch");
+        let mem = DirectMem::new(&self.values);
+        match strategy {
+            LocateStrategy::Branchy => {
+                for (o, v) in out.iter_mut().zip(lookups) {
+                    *o = isi_search::rank_branchy(&mem, *v);
+                }
+            }
+            LocateStrategy::BranchFree => {
+                for (o, v) in out.iter_mut().zip(lookups) {
+                    *o = isi_search::rank_branchfree(&mem, *v);
+                }
+            }
+            LocateStrategy::Gp(g) => bulk_rank_gp(&mem, lookups, g, out),
+            LocateStrategy::Amac(g) => bulk_rank_amac(&mem, lookups, g, out),
+            LocateStrategy::CoroSequential => {
+                bulk_rank_coro_seq(mem, lookups, out);
+            }
+            LocateStrategy::Coro(g) => {
+                bulk_rank_coro(mem, lookups, g, out);
+            }
+        }
+        // Resolve ranks to codes.
+        if self.values.is_empty() {
+            out.fill(NOT_FOUND);
+            return;
+        }
+        for (o, v) in out.iter_mut().zip(lookups) {
+            if self.values[*o as usize] != *v {
+                *o = NOT_FOUND;
+            }
+        }
+    }
+}
+
+/// Update-friendly dictionary: values in arrival order plus a CSB+-tree
+/// index `value -> code`.
+#[derive(Debug, Clone)]
+pub struct DeltaDictionary<K> {
+    values: Vec<K>,
+    index: CsbTree<K, u32>,
+}
+
+impl<K: SearchKey + Default> Default for DeltaDictionary<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: SearchKey + Default> DeltaDictionary<K> {
+    /// An empty delta dictionary.
+    pub fn new() -> Self {
+        Self {
+            values: Vec::new(),
+            index: CsbTree::new(),
+        }
+    }
+
+    /// Number of distinct values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The values in arrival (code) order.
+    pub fn values(&self) -> &[K] {
+        &self.values
+    }
+
+    /// The CSB+-tree index.
+    pub fn index(&self) -> &CsbTree<K, u32> {
+        &self.index
+    }
+
+    /// `extract`: the value for `code`.
+    ///
+    /// # Panics
+    /// Panics if `code` is out of range.
+    #[inline]
+    pub fn extract(&self, code: u32) -> K {
+        self.values[code as usize]
+    }
+
+    /// Bulk-construct from distinct values in arrival order (codes =
+    /// positions): sorts `(value, code)` pairs and bulk-loads the tree.
+    /// Orders of magnitude faster than repeated [`Self::insert_or_get`]
+    /// for benchmark-scale dictionaries.
+    ///
+    /// # Panics
+    /// Panics if `values` contains duplicates.
+    pub fn from_values(values: Vec<K>) -> Self {
+        let mut pairs: Vec<(K, u32)> = values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (*v, i as u32))
+            .collect();
+        pairs.sort_unstable_by_key(|a| a.0);
+        for w in pairs.windows(2) {
+            assert!(w[0].0 < w[1].0, "delta dictionary values must be distinct");
+        }
+        Self {
+            values,
+            index: CsbTree::from_sorted(&pairs),
+        }
+    }
+
+    /// Code for `value`, inserting it if new.
+    pub fn insert_or_get(&mut self, value: K) -> u32 {
+        if let Some(code) = self.index.get(&value) {
+            return code;
+        }
+        let code = self.values.len() as u32;
+        self.values.push(value);
+        self.index.insert(value, code);
+        code
+    }
+
+    /// `locate` one value through the tree index.
+    pub fn locate(&self, value: K) -> Option<u32> {
+        self.index.get(&value)
+    }
+
+    /// Bulk insert-or-get: locate the whole batch with *interleaved*
+    /// tree lookups first (hiding the misses of the read phase, which
+    /// dominates), then insert the values that were absent. Returns the
+    /// code of every input value, in order.
+    ///
+    /// Equivalent to calling [`Self::insert_or_get`] per value — the
+    /// batched form is how a column-store insert path would actually
+    /// drive the dictionary.
+    pub fn bulk_insert_or_get(&mut self, values: &[K], group_size: usize) -> Vec<u32> {
+        let mut codes = vec![NOT_FOUND; values.len()];
+        if !self.is_empty() {
+            self.bulk_locate_interleaved(values, group_size.max(1), &mut codes);
+        }
+        for (v, c) in values.iter().zip(codes.iter_mut()) {
+            if *c == NOT_FOUND {
+                // May have been inserted earlier in this very batch.
+                *c = self.insert_or_get(*v);
+            }
+        }
+        codes
+    }
+
+    /// Bulk `locate`, sequential tree lookups. Absent values map to
+    /// [`NOT_FOUND`].
+    ///
+    /// # Panics
+    /// Panics if `out.len() != lookups.len()`.
+    pub fn bulk_locate_seq(&self, lookups: &[K], out: &mut [u32]) {
+        assert_eq!(lookups.len(), out.len(), "output length mismatch");
+        let store = isi_csb::DirectTreeStore::new(&self.index);
+        let dict = DirectMem::new(&self.values);
+        run_sequential(
+            lookups.iter().copied(),
+            |v| delta_locate_coro::<false, K, _, _>(store, dict, v),
+            |i, r| out[i] = r.unwrap_or(NOT_FOUND),
+        );
+    }
+
+    /// Bulk `locate`, interleaved tree lookups with the extra suspension
+    /// point on the dictionary-array accesses (§5.5).
+    ///
+    /// # Panics
+    /// Panics if `out.len() != lookups.len()`.
+    pub fn bulk_locate_interleaved(&self, lookups: &[K], group_size: usize, out: &mut [u32]) {
+        assert_eq!(lookups.len(), out.len(), "output length mismatch");
+        let store = isi_csb::DirectTreeStore::new(&self.index);
+        let dict = DirectMem::new(&self.values);
+        run_interleaved(
+            group_size,
+            lookups.iter().copied(),
+            |v| delta_locate_coro::<true, K, _, _>(store, dict, v),
+            |i, r| out[i] = r.unwrap_or(NOT_FOUND),
+        );
+    }
+}
+
+/// Delta `locate` coroutine (paper §5.5): a CSB+-tree descent whose
+/// *leaf* phase compares against the dictionary array.
+///
+/// Inner levels behave like Listing 6 — prefetch the child node,
+/// suspend, descend. At the leaf, the stored per-entry payloads are
+/// codes; each comparison fetches `dict[code]`, adding one suspension
+/// point per comparison when interleaved. Generic over both the tree
+/// store and the dictionary-array memory so the same code runs on real
+/// and simulated memory.
+pub async fn delta_locate_coro<const INTERLEAVE: bool, K, S, M>(
+    store: S,
+    dict: M,
+    value: K,
+) -> Option<u32>
+where
+    K: SearchKey + Default,
+    S: TreeStore<K, u32>,
+    M: IndexedMem<K>,
+{
+    let mut idx = store.root();
+    let mut level = store.height();
+    let mut resumed = false;
+    while level > 0 {
+        let node = store.inner(idx);
+        if INTERLEAVE && resumed {
+            store.compute(cost::CORO_SWITCH);
+        }
+        store.compute(isi_csb::lookup::NODE_SEARCH_COST);
+        let slot = node.child_slot(&value);
+        let next = node.first_child + slot as u32;
+        level -= 1;
+        if INTERLEAVE {
+            if level > 0 {
+                store.prefetch_inner(next);
+            } else {
+                store.prefetch_leaf(next);
+            }
+            suspend().await;
+            resumed = true;
+        }
+        idx = next;
+    }
+    let leaf = store.leaf(idx);
+    if INTERLEAVE && resumed {
+        store.compute(cost::CORO_SWITCH);
+    }
+    let n = leaf.nkeys as usize;
+    if n == 0 {
+        return None;
+    }
+    // Leaf phase: binary search over the leaf's codes, each comparison
+    // reading the dictionary array (the extra suspension point).
+    let mut low = 0usize;
+    let mut size = n;
+    loop {
+        let half = size / 2;
+        if half == 0 {
+            break;
+        }
+        let probe = low + half;
+        let code = leaf.values[probe];
+        if INTERLEAVE {
+            dict.prefetch(code as usize);
+            suspend().await;
+            dict.compute(cost::CORO_SWITCH);
+        }
+        dict.compute(cost::CORO_ITER + K::COMPARE_COST);
+        let le = (*dict.at(code as usize) <= value) as usize;
+        low = le * probe + (1 - le) * low;
+        size -= half;
+    }
+    let code = leaf.values[low];
+    if INTERLEAVE {
+        dict.prefetch(code as usize);
+        suspend().await;
+        dict.compute(cost::CORO_SWITCH);
+    }
+    dict.compute(K::COMPARE_COST);
+    (*dict.at(code as usize) == value).then_some(code)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn main_dict(n: u32) -> MainDictionary<u32> {
+        MainDictionary::from_sorted((0..n).map(|i| i * 2).collect())
+    }
+
+    #[test]
+    fn main_extract_locate_are_inverse() {
+        let d = main_dict(1000);
+        assert_eq!(d.len(), 1000);
+        for code in 0..1000u32 {
+            let v = d.extract(code);
+            assert_eq!(d.locate(v), Some(code));
+        }
+        assert_eq!(d.locate(1), None);
+        assert_eq!(d.locate(2001), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly sorted")]
+    fn main_rejects_unsorted() {
+        MainDictionary::from_sorted(vec![2u32, 1]);
+    }
+
+    #[test]
+    fn main_bulk_locate_all_strategies_agree() {
+        let d = main_dict(4096);
+        let lookups: Vec<u32> = (0..800).map(|i| i * 11 % 9000).collect();
+        let expect: Vec<u32> = lookups
+            .iter()
+            .map(|v| d.locate(*v).unwrap_or(NOT_FOUND))
+            .collect();
+        for strat in [
+            LocateStrategy::Branchy,
+            LocateStrategy::BranchFree,
+            LocateStrategy::Gp(10),
+            LocateStrategy::Amac(6),
+            LocateStrategy::CoroSequential,
+            LocateStrategy::Coro(6),
+        ] {
+            let mut out = vec![0u32; lookups.len()];
+            d.bulk_locate(&lookups, strat, &mut out);
+            assert_eq!(out, expect, "{strat:?}");
+        }
+    }
+
+    #[test]
+    fn main_bulk_locate_on_empty_dict() {
+        let d = MainDictionary::<u32>::from_sorted(vec![]);
+        let mut out = vec![0u32; 2];
+        d.bulk_locate(&[1, 2], LocateStrategy::Coro(4), &mut out);
+        assert_eq!(out, [NOT_FOUND, NOT_FOUND]);
+    }
+
+    #[test]
+    fn delta_insert_or_get_deduplicates() {
+        let mut d = DeltaDictionary::new();
+        assert_eq!(d.insert_or_get(50u32), 0);
+        assert_eq!(d.insert_or_get(20), 1);
+        assert_eq!(d.insert_or_get(50), 0, "existing value keeps its code");
+        assert_eq!(d.insert_or_get(80), 2);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.values(), &[50, 20, 80], "arrival order");
+        assert_eq!(d.extract(1), 20);
+        assert_eq!(d.locate(20), Some(1));
+        assert_eq!(d.locate(21), None);
+    }
+
+    #[test]
+    fn delta_bulk_locate_seq_and_interleaved_agree() {
+        let mut d = DeltaDictionary::new();
+        // Insert in shuffled order so codes != sorted positions.
+        for i in [7u32, 3, 11, 1, 9, 5, 13, 2, 8, 0, 12, 4, 10, 6, 14] {
+            d.insert_or_get(i * 10);
+        }
+        // Grow it to multiple tree levels.
+        for i in 15..5000u32 {
+            d.insert_or_get(i * 10 + (i % 7));
+        }
+        let lookups: Vec<u32> = (0..2000).map(|i| i * 13 % 50_100).collect();
+        let expect: Vec<u32> = lookups
+            .iter()
+            .map(|v| d.locate(*v).unwrap_or(NOT_FOUND))
+            .collect();
+
+        let mut seq = vec![0u32; lookups.len()];
+        d.bulk_locate_seq(&lookups, &mut seq);
+        assert_eq!(seq, expect);
+
+        for group in [1, 6, 16] {
+            let mut inter = vec![0u32; lookups.len()];
+            d.bulk_locate_interleaved(&lookups, group, &mut inter);
+            assert_eq!(inter, expect, "group={group}");
+        }
+    }
+
+    #[test]
+    fn delta_locate_on_empty() {
+        let d = DeltaDictionary::<u32>::new();
+        assert_eq!(d.locate(5), None);
+        let mut out = vec![0u32; 1];
+        d.bulk_locate_interleaved(&[5], 4, &mut out);
+        assert_eq!(out, [NOT_FOUND]);
+    }
+
+    #[test]
+    fn delta_extract_locate_roundtrip_strings() {
+        use isi_search::key::Str16;
+        let mut d = DeltaDictionary::new();
+        let words: Vec<Str16> = (0..500u64).map(|i| Str16::from_index(i * 3 % 997)).collect();
+        let codes: Vec<u32> = words.iter().map(|w| d.insert_or_get(*w)).collect();
+        for (w, c) in words.iter().zip(&codes) {
+            assert_eq!(d.extract(*c), *w);
+            assert_eq!(d.locate(*w), Some(*c));
+        }
+    }
+}

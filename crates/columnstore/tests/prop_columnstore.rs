@@ -1,0 +1,79 @@
+//! Property-based tests for the column store: dictionary encoding is
+//! lossless, IN-predicate execution matches a naive row-store oracle
+//! for every execution mode, and delta merges never change the logical
+//! table content.
+
+use proptest::prelude::*;
+
+use isi_columnstore::{execute_in, execute_in_naive, BitPackedVec, Column, ExecMode};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn encode_decode_roundtrip(
+        main_rows in proptest::collection::vec(0u32..500, 0..200),
+        delta_rows in proptest::collection::vec(0u32..700, 0..200),
+    ) {
+        let mut c = Column::from_rows(&main_rows);
+        for v in &delta_rows {
+            c.append(*v);
+        }
+        let decoded: Vec<u32> = (0..c.rows()).map(|i| c.get(i)).collect();
+        let expect: Vec<u32> = main_rows.iter().chain(&delta_rows).copied().collect();
+        prop_assert_eq!(decoded, expect);
+    }
+
+    #[test]
+    fn in_query_matches_naive_all_modes(
+        main_rows in proptest::collection::vec(0u32..300, 0..150),
+        delta_rows in proptest::collection::vec(0u32..400, 0..150),
+        values in proptest::collection::vec(0u32..500, 0..60),
+        group in 1usize..10,
+    ) {
+        let mut c = Column::from_rows(&main_rows);
+        for v in &delta_rows {
+            c.append(*v);
+        }
+        let expect = execute_in_naive(&c, &values);
+        let (seq, _) = execute_in(&c, &values, ExecMode::Sequential);
+        prop_assert_eq!(&seq, &expect);
+        let (inter, _) = execute_in(&c, &values, ExecMode::Interleaved(group));
+        prop_assert_eq!(&inter, &expect);
+    }
+
+    #[test]
+    fn merge_preserves_content_and_queries(
+        main_rows in proptest::collection::vec(0u32..200, 0..100),
+        delta_rows in proptest::collection::vec(0u32..300, 0..100),
+        values in proptest::collection::vec(0u32..350, 0..40),
+    ) {
+        let mut c = Column::from_rows(&main_rows);
+        for v in &delta_rows {
+            c.append(*v);
+        }
+        let rows_before: Vec<u32> = (0..c.rows()).map(|i| c.get(i)).collect();
+        let q_before = execute_in(&c, &values, ExecMode::Interleaved(6)).0;
+        c.merge_delta();
+        let rows_after: Vec<u32> = (0..c.rows()).map(|i| c.get(i)).collect();
+        let q_after = execute_in(&c, &values, ExecMode::Interleaved(6)).0;
+        prop_assert_eq!(&rows_before, &rows_after);
+        prop_assert_eq!(q_before, q_after);
+        prop_assert_eq!(c.delta.rows(), 0);
+        // Main dictionary is strictly sorted (validated by constructor)
+        // and minimal: every dict value occurs in some row.
+        for v in c.main.dict.values() {
+            prop_assert!(rows_after.contains(v));
+        }
+    }
+
+    #[test]
+    fn bitpacked_vec_roundtrips_any_width(
+        codes in proptest::collection::vec(0u32..u32::MAX, 0..300),
+    ) {
+        let v: BitPackedVec = codes.iter().copied().collect();
+        prop_assert_eq!(v.len(), codes.len());
+        let back: Vec<u32> = v.iter().collect();
+        prop_assert_eq!(back, codes);
+    }
+}

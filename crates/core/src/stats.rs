@@ -1,0 +1,143 @@
+//! Lightweight cycle/throughput measurement helpers shared by the
+//! benchmark harnesses.
+//!
+//! The paper reports *cycles per search* (Figures 3-7). We measure
+//! wall-clock time with `std::time::Instant` and convert to cycles using a
+//! calibrated estimate of the TSC frequency, so harness output is in the
+//! paper's units. (Reading the TSC directly via `_rdtsc` is also supported
+//! on x86-64 and is what the calibration uses.)
+
+use std::time::{Duration, Instant};
+
+/// Read the processor timestamp counter, or 0 on non-x86-64 targets.
+#[inline]
+pub fn rdtsc() -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    unsafe {
+        core::arch::x86_64::_rdtsc()
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        0
+    }
+}
+
+/// Estimate the TSC frequency in cycles per nanosecond by spinning for
+/// `calib` wall time. Returns `None` where no TSC is available.
+pub fn calibrate_tsc(calib: Duration) -> Option<f64> {
+    let t0 = Instant::now();
+    let c0 = rdtsc();
+    if c0 == 0 {
+        return None;
+    }
+    while t0.elapsed() < calib {
+        std::hint::spin_loop();
+    }
+    let cycles = rdtsc().wrapping_sub(c0);
+    let nanos = t0.elapsed().as_nanos() as f64;
+    if nanos <= 0.0 || cycles == 0 {
+        return None;
+    }
+    Some(cycles as f64 / nanos)
+}
+
+/// A stopwatch that reports both wall time and (where available) cycles.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+    start_cycles: u64,
+}
+
+impl Stopwatch {
+    /// Start timing now.
+    pub fn start() -> Self {
+        Self {
+            start: Instant::now(),
+            start_cycles: rdtsc(),
+        }
+    }
+
+    /// Elapsed wall time.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Elapsed TSC cycles (0 on targets without a TSC).
+    pub fn elapsed_cycles(&self) -> u64 {
+        rdtsc().wrapping_sub(self.start_cycles)
+    }
+}
+
+/// Run `f` `reps` times and return the **minimum** per-rep duration.
+///
+/// The minimum is the standard robust estimator for microbenchmarks on a
+/// noisy machine: external interference only ever adds time.
+pub fn time_min<F: FnMut()>(reps: usize, mut f: F) -> Duration {
+    assert!(reps > 0, "need at least one repetition");
+    let mut best = Duration::MAX;
+    for _ in 0..reps {
+        let sw = Stopwatch::start();
+        f();
+        best = best.min(sw.elapsed());
+    }
+    best
+}
+
+/// Run `f` `reps` times and return the average per-rep duration, matching
+/// the paper's "average runtime of 100 executions" methodology (§5.3).
+pub fn time_avg<F: FnMut()>(reps: usize, mut f: F) -> Duration {
+    assert!(reps > 0, "need at least one repetition");
+    let sw = Stopwatch::start();
+    for _ in 0..reps {
+        f();
+    }
+    sw.elapsed() / reps as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_measures_something() {
+        let sw = Stopwatch::start();
+        let mut x = 0u64;
+        for i in 0..10_000u64 {
+            x = x.wrapping_add(std::hint::black_box(i));
+        }
+        std::hint::black_box(x);
+        assert!(sw.elapsed() > Duration::ZERO);
+        #[cfg(target_arch = "x86_64")]
+        assert!(sw.elapsed_cycles() > 0);
+    }
+
+    #[test]
+    fn time_min_le_time_avg() {
+        let work = || {
+            let mut x = 0u64;
+            for i in 0..1000u64 {
+                x = x.wrapping_add(std::hint::black_box(i));
+            }
+            std::hint::black_box(x);
+        };
+        let mn = time_min(5, work);
+        let av = time_avg(5, work);
+        // Minimum of reps cannot exceed ~the average by more than noise;
+        // allow generous slack because the clock granularity is coarse.
+        assert!(mn <= av * 3 + Duration::from_micros(50));
+    }
+
+    #[test]
+    #[cfg(target_arch = "x86_64")]
+    fn tsc_calibration_yields_plausible_frequency() {
+        let ghz = calibrate_tsc(Duration::from_millis(10)).expect("x86-64 has a TSC");
+        // Any real machine is between 0.5 and 6 GHz.
+        assert!(ghz > 0.5 && ghz < 6.0, "implausible TSC frequency {ghz}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one repetition")]
+    fn time_min_rejects_zero_reps() {
+        time_min(0, || {});
+    }
+}

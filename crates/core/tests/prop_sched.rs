@@ -1,0 +1,70 @@
+//! Property-based tests for the schedulers: for *any* set of coroutines
+//! with arbitrary suspension counts and any group size, interleaved
+//! execution must produce exactly the same input-indexed results as
+//! sequential execution, complete every lookup exactly once, and count
+//! switches exactly.
+
+use proptest::prelude::*;
+
+use isi_core::coro::suspend;
+use isi_core::sched::{run_interleaved, run_interleaved_boxed, run_sequential};
+
+/// A coroutine that suspends `susp` times and returns `tag`.
+async fn worker(susp: u8, tag: u32) -> u32 {
+    for _ in 0..susp {
+        suspend().await;
+    }
+    tag
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn interleaved_equals_sequential(
+        suspensions in proptest::collection::vec(0u8..12, 0..80),
+        group in 1usize..20,
+    ) {
+        let items: Vec<(u8, u32)> = suspensions
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (*s, i as u32 * 7))
+            .collect();
+
+        let mut seq = vec![u32::MAX; items.len()];
+        let seq_stats = run_sequential(
+            items.iter().copied(),
+            |(s, t)| worker(s, t),
+            |i, r| seq[i] = r,
+        );
+
+        let mut inter = vec![u32::MAX; items.len()];
+        let inter_stats = run_interleaved(
+            group,
+            items.iter().copied(),
+            |(s, t)| worker(s, t),
+            |i, r| inter[i] = r,
+        );
+
+        let mut boxed = vec![u32::MAX; items.len()];
+        let boxed_stats = run_interleaved_boxed(
+            group,
+            items.iter().copied(),
+            |(s, t)| worker(s, t),
+            |i, r| boxed[i] = r,
+        );
+
+        prop_assert_eq!(&seq, &inter);
+        prop_assert_eq!(&seq, &boxed);
+
+        // Exact accounting: every lookup completes once; switches equal
+        // the total suspension count regardless of scheduling.
+        let total_susp: u64 = suspensions.iter().map(|&s| s as u64).sum();
+        for stats in [seq_stats, inter_stats, boxed_stats] {
+            prop_assert_eq!(stats.lookups, items.len() as u64);
+            prop_assert_eq!(stats.switches, total_susp);
+            prop_assert_eq!(stats.resumes, items.len() as u64 + total_susp);
+        }
+        prop_assert!(inter_stats.peak_in_flight <= group.max(1) as u64);
+    }
+}

@@ -1,0 +1,33 @@
+//! # isi-csb — a cache-sensitive B+-tree with interleaved lookups
+//!
+//! The CSB+-tree of Rao & Ross (SIGMOD 2000) is the index behind the
+//! paper's Delta dictionaries: children of a node are stored in one
+//! contiguous *node group*, so a node stores only a `first_child` index
+//! and packs more keys per cache line. This crate implements the tree
+//! from scratch — bulk load, inserts with node-group splits, range
+//! scans — plus the paper's Listing 6: a lookup coroutine that
+//! prefetches every cache line of the next node and suspends once per
+//! level, and the AMAC state-machine equivalent.
+//!
+//! ```
+//! use isi_csb::{CsbTree, DirectTreeStore, bulk_lookup_interleaved};
+//!
+//! let tree = CsbTree::from_sorted(&(0..10_000u32).map(|i| (i * 2, i)).collect::<Vec<_>>());
+//! let store = DirectTreeStore::new(&tree);
+//! let probes = [0u32, 42, 19_998, 5];
+//! let mut out = vec![None; probes.len()];
+//! bulk_lookup_interleaved(store, &probes, 6, &mut out);
+//! assert_eq!(out, [Some(0), Some(21), Some(9_999), None]);
+//! ```
+
+pub mod lookup;
+pub mod node;
+pub mod store;
+pub mod tree;
+
+pub use lookup::{
+    bulk_lookup_amac, bulk_lookup_interleaved, bulk_lookup_seq, lookup_coro, lookup_seq,
+};
+pub use node::{InnerNode, LeafNode, NODE_CAP};
+pub use store::{DirectTreeStore, SimTreeStore, TreeStore};
+pub use tree::CsbTree;

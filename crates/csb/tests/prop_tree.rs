@@ -1,0 +1,91 @@
+//! Property-based tests: the CSB+-tree behaves exactly like a
+//! `BTreeMap` under arbitrary interleavings of bulk-load, insert,
+//! point-lookup and range-scan operations, and every structural
+//! invariant (sorted nodes, separator bounds, arena accounting) holds
+//! after every batch of mutations.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+use isi_csb::{bulk_lookup_interleaved, CsbTree, DirectTreeStore};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn behaves_like_btreemap(
+        bulk in proptest::collection::btree_map(0u32..2_000, 0u32..1_000_000, 0..400),
+        inserts in proptest::collection::vec((0u32..2_000, 0u32..1_000_000), 0..300),
+        probes in proptest::collection::vec(0u32..2_500, 0..100),
+    ) {
+        let pairs: Vec<(u32, u32)> = bulk.iter().map(|(k, v)| (*k, *v)).collect();
+        let mut tree = CsbTree::from_sorted(&pairs);
+        let mut model: BTreeMap<u32, u32> = bulk;
+
+        for (k, v) in inserts {
+            prop_assert_eq!(tree.insert(k, v), model.insert(k, v));
+        }
+        tree.validate();
+        prop_assert_eq!(tree.len(), model.len());
+
+        for p in probes {
+            prop_assert_eq!(tree.get(&p), model.get(&p).copied());
+        }
+
+        // Full ordered iteration agrees.
+        let items = tree.items();
+        let expect: Vec<(u32, u32)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(items, expect);
+    }
+
+    #[test]
+    fn range_scans_match_model(
+        inserts in proptest::collection::vec((0u32..5_000, 0u32..100), 1..500),
+        lo in 0u32..5_000,
+        width in 0u32..2_000,
+    ) {
+        let mut tree = CsbTree::new();
+        let mut model = BTreeMap::new();
+        for (k, v) in inserts {
+            tree.insert(k, v);
+            model.insert(k, v);
+        }
+        let hi = lo.saturating_add(width);
+        let mut got = Vec::new();
+        tree.for_each_in_range(&lo, &hi, |k, v| got.push((*k, *v)));
+        let expect: Vec<(u32, u32)> = model.range(lo..=hi).map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn interleaved_lookup_agrees_with_get(
+        inserts in proptest::collection::vec((0u32..3_000, 0u32..100), 1..400),
+        probes in proptest::collection::vec(0u32..3_500, 1..120),
+        group in 1usize..12,
+    ) {
+        let mut tree = CsbTree::new();
+        for (k, v) in inserts {
+            tree.insert(k, v);
+        }
+        let store = DirectTreeStore::new(&tree);
+        let mut out = vec![None; probes.len()];
+        bulk_lookup_interleaved(store, &probes, group, &mut out);
+        for (i, p) in probes.iter().enumerate() {
+            prop_assert_eq!(out[i], tree.get(p));
+        }
+    }
+
+    #[test]
+    fn rebuild_preserves_content(
+        inserts in proptest::collection::vec((0u32..1_000, 0u32..50), 0..300),
+    ) {
+        let mut tree = CsbTree::new();
+        for (k, v) in inserts {
+            tree.insert(k, v);
+        }
+        let rebuilt = tree.rebuilt();
+        rebuilt.validate();
+        prop_assert_eq!(rebuilt.items(), tree.items());
+        prop_assert_eq!(rebuilt.garbage(), (0, 0));
+    }
+}

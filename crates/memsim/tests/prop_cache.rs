@@ -1,0 +1,147 @@
+//! Property-based tests for the cache model: the set-associative LRU
+//! cache must behave exactly like a reference model (per-set ordered
+//! lists) under arbitrary access/insert sequences, and machine-level
+//! invariants must hold for arbitrary load/prefetch/compute traces.
+
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+use isi_memsim::{Cache, Machine, MachineConfig};
+
+/// Reference LRU model: one VecDeque per set, most-recent at the front.
+struct RefCache {
+    sets: Vec<VecDeque<u64>>,
+    assoc: usize,
+}
+
+impl RefCache {
+    fn new(nsets: usize, assoc: usize) -> Self {
+        Self {
+            sets: (0..nsets).map(|_| VecDeque::new()).collect(),
+            assoc,
+        }
+    }
+    fn set_of(&self, key: u64) -> usize {
+        (key as usize) % self.sets.len()
+    }
+    fn access(&mut self, key: u64) -> bool {
+        let s = self.set_of(key);
+        let set = &mut self.sets[s];
+        if let Some(pos) = set.iter().position(|&k| k == key) {
+            let k = set.remove(pos).unwrap();
+            set.push_front(k);
+            true
+        } else {
+            false
+        }
+    }
+    fn insert(&mut self, key: u64) -> Option<u64> {
+        let s = self.set_of(key);
+        let assoc = self.assoc;
+        let set = &mut self.sets[s];
+        if let Some(pos) = set.iter().position(|&k| k == key) {
+            let k = set.remove(pos).unwrap();
+            set.push_front(k);
+            return None;
+        }
+        set.push_front(key);
+        if set.len() > assoc {
+            set.pop_back()
+        } else {
+            None
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Access(u64),
+    Insert(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..64).prop_map(Op::Access),
+        (0u64..64).prop_map(Op::Insert),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn cache_matches_reference_lru(
+        ops in proptest::collection::vec(op_strategy(), 1..400),
+        nsets in 1usize..5,
+        assoc in 1usize..5,
+    ) {
+        let mut real = Cache::new(nsets, assoc);
+        let mut model = RefCache::new(nsets, assoc);
+        for op in ops {
+            match op {
+                Op::Access(k) => {
+                    prop_assert_eq!(real.access(k), model.access(k), "access {}", k);
+                }
+                Op::Insert(k) => {
+                    prop_assert_eq!(real.insert(k), model.insert(k), "insert {}", k);
+                }
+            }
+        }
+        // Occupancy agrees at the end.
+        let model_occ: usize = model.sets.iter().map(|s| s.len()).sum();
+        prop_assert_eq!(real.occupancy(), model_occ);
+    }
+
+    #[test]
+    fn machine_invariants_hold_for_arbitrary_traces(
+        ops in proptest::collection::vec(0u8..4, 1..300),
+        offsets in proptest::collection::vec(0u64..10_000, 1..300),
+    ) {
+        let mut m = Machine::new(MachineConfig::tiny());
+        let base = m.alloc_region(1 << 20);
+        for (op, off) in ops.iter().zip(&offsets) {
+            let addr = base + off * 8;
+            match op {
+                0 => {
+                    m.load(addr, 8, false);
+                }
+                1 => {
+                    m.load(addr, 8, true);
+                }
+                2 => m.prefetch(addr, 8),
+                _ => m.compute(3),
+            }
+        }
+        let s = m.stats();
+        // Category cycles never exceed total cycles; all non-negative.
+        let sum = s.retiring + s.memory + s.core + s.bad_spec + s.frontend;
+        prop_assert!(sum <= s.cycles + 1e-6, "categories {} > cycles {}", sum, s.cycles);
+        prop_assert!(s.cycles >= 0.0 && s.memory >= 0.0 && s.retiring >= 0.0);
+        // Every load is classified exactly once.
+        prop_assert_eq!(
+            s.loads,
+            s.l1_hits + s.lfb_hits + s.l2_hits + s.l3_hits + s.dram_loads
+        );
+        // Clock is monotone: another op only adds cycles.
+        let before = m.stats().cycles;
+        m.load(base, 8, false);
+        prop_assert!(m.stats().cycles >= before);
+    }
+
+    #[test]
+    fn identical_traces_are_deterministic(
+        offsets in proptest::collection::vec(0u64..4_096, 1..200),
+    ) {
+        let run = || {
+            let mut m = Machine::new(MachineConfig::tiny());
+            let base = m.alloc_region(1 << 16);
+            for off in &offsets {
+                m.prefetch(base + off * 8, 8);
+                m.compute(2);
+                m.load(base + off * 8, 8, false);
+            }
+            m.stats()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,42 @@
+//! # isi-search — binary search five ways
+//!
+//! The microbenchmark subjects of the paper's Section 5: five binary
+//! search implementations over a sorted array, two sequential and three
+//! interleaved, all generic over the key type ([`key::SearchKey`]) and
+//! the memory backend ([`isi_core::mem::IndexedMem`]):
+//!
+//! | paper name | module / function | kind |
+//! |---|---|---|
+//! | `std`      | [`seq::rank_branchy`]     | sequential, speculative branch |
+//! | `Baseline` | [`seq::rank_branchfree`]  | sequential, conditional move (Listing 2) |
+//! | `GP`       | [`gp::bulk_rank_gp`]      | static interleaving (Listing 3) |
+//! | `AMAC`     | [`amac::bulk_rank_amac`]  | dynamic interleaving, hand-written state machine (Listing 4) |
+//! | `CORO`     | [`coro::rank_coro`]       | dynamic interleaving, compiler-generated state machine (Listing 5) |
+//!
+//! Every implementation computes the same **rank** function — largest
+//! index `i` with `table[i] <= value`, clamped to 0 — so their outputs
+//! are interchangeable and cross-checked in the test suite.
+//! [`locate`](locate::locate) builds the dictionary access method on top.
+
+pub mod adaptive;
+pub mod amac;
+pub mod autotune;
+pub mod coro;
+pub mod cost;
+pub mod gp;
+pub mod key;
+pub mod locate;
+pub mod seq;
+pub mod sorted;
+pub mod spp;
+
+pub use adaptive::{bulk_rank_coro_adaptive, rank_coro_adaptive};
+pub use amac::bulk_rank_amac;
+pub use autotune::{autotune_group_size, TuneResult};
+pub use coro::{bulk_rank_coro, bulk_rank_coro_seq, rank_coro};
+pub use gp::bulk_rank_gp;
+pub use key::{FixedStr, SearchKey, Str16};
+pub use locate::{bulk_locate_interleaved, bulk_locate_seq, locate, NOT_FOUND};
+pub use seq::{bulk_rank_branchfree, bulk_rank_branchy, rank_branchfree, rank_branchy, rank_oracle};
+pub use sorted::{bulk_rank_sorted, bulk_rank_sorted_interleaved};
+pub use spp::bulk_rank_spp;

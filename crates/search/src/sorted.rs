@@ -1,0 +1,229 @@
+//! Rank for *sorted* lookup lists: exploiting the Figure 4
+//! preprocessing beyond temporal locality.
+//!
+//! The paper sorts the lookup list and measures the cache-side benefit:
+//! consecutive searches touch monotonically increasing positions, so
+//! earlier lookups warm the lines for later ones (§5.3). Sorting also
+//! enables an *algorithmic* improvement the paper leaves on the table:
+//! since `values[i] <= values[i+1]`, lookup `i+1` can start its binary
+//! search at `low = rank(values[i])` instead of 0, shrinking the probe
+//! chain — and the narrowing variant still composes with interleaving.
+
+use isi_core::coro::suspend;
+use isi_core::mem::IndexedMem;
+use isi_core::sched::{run_interleaved, RunStats};
+
+use crate::cost;
+use crate::key::SearchKey;
+
+/// Bulk rank over an ascending lookup list, narrowing the search range
+/// with each result. Output identical to any other rank implementation.
+///
+/// # Panics
+/// Panics if `out.len() != values.len()` or `values` is not ascending.
+pub fn bulk_rank_sorted<K: SearchKey, M: IndexedMem<K>>(mem: &M, values: &[K], out: &mut [u32]) {
+    assert_eq!(values.len(), out.len(), "output length mismatch");
+    for w in values.windows(2) {
+        assert!(w[0] <= w[1], "lookup list must be ascending");
+    }
+    let n = mem.len();
+    let mut floor = 0usize; // rank of the previous (smaller) value
+    for (v, o) in values.iter().zip(out.iter_mut()) {
+        // Search [floor, n): the previous rank lower-bounds this one...
+        let mut low = floor;
+        let mut size = n - floor;
+        loop {
+            let half = size / 2;
+            if half == 0 {
+                break;
+            }
+            let probe = low + half;
+            mem.compute(cost::BASE_ITER + K::COMPARE_COST);
+            let le = (*mem.at(probe) <= *v) as usize;
+            low = le * probe + (1 - le) * low;
+            size -= half;
+        }
+        // ...except when the probe never moved and the true rank is the
+        // clamped 0 of an all-greater table; keep the clamp semantics.
+        *o = low as u32;
+        floor = low;
+    }
+}
+
+/// Interleaved rank over a sorted list, partitioned across the group:
+/// the list is cut into `group_size` contiguous chunks, each chunk
+/// narrowing independently, and the chunk coroutines are interleaved.
+/// Combines the algorithmic narrowing with miss hiding.
+///
+/// # Panics
+/// Panics if `out.len() != values.len()`, `values` is not ascending, or
+/// `group_size == 0`.
+pub fn bulk_rank_sorted_interleaved<K: SearchKey, M: IndexedMem<K> + Copy>(
+    mem: M,
+    values: &[K],
+    group_size: usize,
+    out: &mut [u32],
+) -> RunStats {
+    assert_eq!(values.len(), out.len(), "output length mismatch");
+    assert!(group_size > 0, "group_size must be positive");
+    for w in values.windows(2) {
+        assert!(w[0] <= w[1], "lookup list must be ascending");
+    }
+    let chunk = values.len().div_ceil(group_size).max(1);
+
+    // One coroutine per contiguous chunk; each narrows within its chunk
+    // and suspends at every probe, exactly like `rank_coro`.
+    async fn chunk_rank<K: SearchKey, M: IndexedMem<K>>(mem: M, values: Vec<K>) -> Vec<u32> {
+        let n = mem.len();
+        let mut floor = 0usize;
+        let mut out = Vec::with_capacity(values.len());
+        for v in values {
+            let mut low = floor;
+            let mut size = n - floor;
+            loop {
+                let half = size / 2;
+                if half == 0 {
+                    break;
+                }
+                let probe = low + half;
+                mem.prefetch(probe);
+                suspend().await;
+                mem.compute(cost::CORO_ITER + cost::CORO_SWITCH + K::COMPARE_COST);
+                let le = (*mem.at(probe) <= v) as usize;
+                low = le * probe + (1 - le) * low;
+                size -= half;
+            }
+            out.push(low as u32);
+            floor = low;
+        }
+        out
+    }
+
+    let chunks: Vec<Vec<K>> = values.chunks(chunk).map(|c| c.to_vec()).collect();
+    let mut results: Vec<Vec<u32>> = vec![Vec::new(); chunks.len()];
+    let stats = run_interleaved(
+        group_size,
+        chunks,
+        |c| chunk_rank(mem, c),
+        |i, r| results[i] = r,
+    );
+    let mut pos = 0;
+    for r in results {
+        out[pos..pos + r.len()].copy_from_slice(&r);
+        pos += r.len();
+    }
+    debug_assert_eq!(pos, out.len());
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::rank_oracle;
+    use isi_core::mem::DirectMem;
+
+    fn sorted_probes(n: u32, count: usize) -> Vec<u32> {
+        let mut v: Vec<u32> = (0..count as u64)
+            .map(|i| ((i * 2654435761) % (2 * n as u64)) as u32)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn narrowing_agrees_with_oracle() {
+        let table: Vec<u32> = (0..5000).map(|i| i * 3).collect();
+        let values = sorted_probes(15_000, 700);
+        let mem = DirectMem::new(&table);
+        let mut out = vec![0u32; values.len()];
+        bulk_rank_sorted(&mem, &values, &mut out);
+        for (i, v) in values.iter().enumerate() {
+            assert_eq!(out[i], rank_oracle(&table, v), "v={v}");
+        }
+    }
+
+    #[test]
+    fn interleaved_narrowing_agrees_with_oracle() {
+        let table: Vec<u32> = (0..5000).map(|i| i * 3).collect();
+        let values = sorted_probes(15_000, 700);
+        let mem = DirectMem::new(&table);
+        for group in [1, 3, 6, 13] {
+            let mut out = vec![0u32; values.len()];
+            bulk_rank_sorted_interleaved(mem, &values, group, &mut out);
+            for (i, v) in values.iter().enumerate() {
+                assert_eq!(out[i], rank_oracle(&table, v), "v={v} group={group}");
+            }
+        }
+    }
+
+    #[test]
+    fn duplicates_in_lookup_list() {
+        let table: Vec<u32> = (0..100).collect();
+        let values = vec![5u32, 5, 5, 50, 50, 99, 99];
+        let mem = DirectMem::new(&table);
+        let mut out = vec![0u32; values.len()];
+        bulk_rank_sorted(&mem, &values, &mut out);
+        assert_eq!(out, [5, 5, 5, 50, 50, 99, 99]);
+    }
+
+    #[test]
+    fn narrowing_probes_fewer_elements() {
+        // Count accesses via the sim-free route: charge compute (no-op)
+        // but compare probe counts through a counting wrapper.
+        use std::cell::Cell;
+        struct Counting<'a> {
+            inner: DirectMem<'a, u32>,
+            probes: &'a Cell<u64>,
+        }
+        impl<'a> isi_core::mem::IndexedMem<u32> for Counting<'a> {
+            fn len(&self) -> usize {
+                self.inner.len()
+            }
+            fn at(&self, idx: usize) -> &u32 {
+                self.probes.set(self.probes.get() + 1);
+                self.inner.at(idx)
+            }
+            fn prefetch(&self, idx: usize) {
+                self.inner.prefetch(idx)
+            }
+        }
+        let table: Vec<u32> = (0..1 << 16).collect();
+        let values = sorted_probes(1 << 16, 1000);
+        let probes = Cell::new(0);
+        let mem = Counting {
+            inner: DirectMem::new(&table),
+            probes: &probes,
+        };
+        let mut out = vec![0u32; values.len()];
+        bulk_rank_sorted(&mem, &values, &mut out);
+        let narrowed = probes.get();
+        probes.set(0);
+        crate::seq::bulk_rank_branchfree(&mem, &values, &mut out);
+        let full = probes.get();
+        assert!(
+            narrowed < full * 3 / 4,
+            "narrowing should save probes: {narrowed} vs {full}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn unsorted_input_rejected() {
+        let table: Vec<u32> = (0..10).collect();
+        let mem = DirectMem::new(&table);
+        bulk_rank_sorted(&mem, &[5, 3], &mut [0, 0]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let table: Vec<u32> = (0..10).collect();
+        let mem = DirectMem::new(&table);
+        bulk_rank_sorted(&mem, &[], &mut []);
+        bulk_rank_sorted_interleaved(mem, &[], 4, &mut []);
+        let empty: Vec<u32> = vec![];
+        let mem = DirectMem::new(&empty);
+        let mut out = [9u32; 2];
+        bulk_rank_sorted(&mem, &[1, 2], &mut out);
+        assert_eq!(out, [0, 0]);
+    }
+}

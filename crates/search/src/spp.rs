@@ -1,0 +1,222 @@
+//! Software-pipelined prefetching (SPP) — Chen et al.'s second static
+//! technique, which the paper *deliberately omits*: "We have not yet
+//! investigated how to form a pipeline with variable size, so we do not
+//! provide an SPP implementation" (footnote 2).
+//!
+//! This module closes that gap. The observation the paper itself makes
+//! for GP applies equally to SPP: for binary searches over one table,
+//! the number of halving iterations is a function of the table size
+//! alone, so every instruction stream executes the *same* number of
+//! stages and a classic rotating software pipeline is well-formed.
+//!
+//! SPP runs `D + 1` lookups in a rotating window at staggered depths:
+//! on each tick, the stream in its prefetch slot issues the prefetch for
+//! its current probe, and the stream `D` positions behind consumes the
+//! element it prefetched `D` ticks ago. Compared to GP, the prefetch
+//! distance is constant and tunable instead of depending on the group's
+//! position in the loop; compared to AMAC/CORO, streams remain coupled
+//! (same iteration counter modulo stage offset), keeping per-stream
+//! state minimal.
+
+use isi_core::mem::IndexedMem;
+
+use crate::cost;
+use crate::key::SearchKey;
+
+/// Maximum pipeline depth accepted.
+pub const MAX_DEPTH: usize = 32;
+
+/// Number of halving iterations of the shared rank loop for a table of
+/// `n` elements (the fixed stage count that makes SPP well-formed).
+pub fn rank_iterations(n: usize) -> usize {
+    let mut size = n;
+    let mut iters = 0;
+    while size / 2 > 0 {
+        size -= size / 2;
+        iters += 1;
+    }
+    iters
+}
+
+/// Bulk rank with software-pipelined prefetching at pipeline depth
+/// `depth` (prefetch-to-consume distance, in streams). Writes `out[i]`
+/// = rank of `values[i]` — identical results to every other
+/// implementation in this crate.
+///
+/// # Panics
+/// Panics if `out.len() != values.len()` or `depth` is 0 or exceeds
+/// [`MAX_DEPTH`].
+pub fn bulk_rank_spp<K: SearchKey, M: IndexedMem<K>>(
+    mem: &M,
+    values: &[K],
+    depth: usize,
+    out: &mut [u32],
+) {
+    assert_eq!(values.len(), out.len(), "output length mismatch");
+    assert!(
+        (1..=MAX_DEPTH).contains(&depth),
+        "depth must be in 1..={MAX_DEPTH}"
+    );
+    let n = mem.len();
+    let iters = rank_iterations(n);
+    if values.is_empty() {
+        return;
+    }
+    if iters == 0 {
+        out.fill(0);
+        return;
+    }
+
+    // Per-stream pipeline state: input index, current low, remaining
+    // size, iterations completed.
+    #[derive(Clone, Copy)]
+    struct St {
+        input: usize,
+        low: usize,
+        size: usize,
+        done_iters: usize,
+    }
+    let width = (depth + 1).min(values.len());
+    let mut pipe: Vec<St> = (0..width)
+        .map(|i| St {
+            input: i,
+            low: 0,
+            size: n,
+            done_iters: 0,
+        })
+        .collect();
+    // Prologue: issue the first prefetch for every resident stream.
+    for st in &pipe {
+        mem.compute(cost::GP_PREFETCH);
+        mem.prefetch(st.low + st.size / 2);
+    }
+
+    let mut next_input = width;
+    let mut remaining = values.len();
+    // Steady state: consume the oldest outstanding prefetch, advance
+    // that stream, and issue its next prefetch (or retire and refill).
+    let mut slot = 0usize;
+    while remaining > 0 {
+        let st = &mut pipe[slot];
+        if st.input >= values.len() {
+            slot = (slot + 1) % width;
+            continue;
+        }
+        let half = st.size / 2;
+        let probe = st.low + half;
+        let le = (*mem.at(probe) <= values[st.input]) as usize;
+        mem.compute(cost::GP_ITER + K::COMPARE_COST);
+        st.low = le * probe + (1 - le) * st.low;
+        st.size -= half;
+        st.done_iters += 1;
+
+        if st.done_iters == iters {
+            out[st.input] = st.low as u32;
+            remaining -= 1;
+            // Refill the slot with the next lookup (epilogue leaves the
+            // slot idle when inputs run out).
+            if next_input < values.len() {
+                *st = St {
+                    input: next_input,
+                    low: 0,
+                    size: n,
+                    done_iters: 0,
+                };
+                next_input += 1;
+                mem.compute(cost::GP_PREFETCH);
+                mem.prefetch(st.size / 2);
+            } else {
+                st.input = usize::MAX;
+            }
+        } else {
+            mem.compute(cost::GP_PREFETCH);
+            mem.prefetch(st.low + st.size / 2);
+        }
+        slot = (slot + 1) % width;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::rank_oracle;
+    use isi_core::mem::DirectMem;
+
+    fn check(table: &[u32], values: &[u32], depth: usize) {
+        let mem = DirectMem::new(table);
+        let mut out = vec![u32::MAX; values.len()];
+        bulk_rank_spp(&mem, values, depth, &mut out);
+        for (i, v) in values.iter().enumerate() {
+            assert_eq!(out[i], rank_oracle(table, v), "v={v} depth={depth}");
+        }
+    }
+
+    #[test]
+    fn rank_iterations_matches_loop() {
+        assert_eq!(rank_iterations(0), 0);
+        assert_eq!(rank_iterations(1), 0);
+        assert_eq!(rank_iterations(2), 1);
+        assert_eq!(rank_iterations(3), 2);
+        assert_eq!(rank_iterations(1024), 10);
+        assert_eq!(rank_iterations(1000), 10); // not a power of two
+    }
+
+    #[test]
+    fn agrees_with_oracle_across_depths() {
+        let table: Vec<u32> = (0..777).map(|i| i * 2 + 1).collect();
+        let values: Vec<u32> = (0..250).map(|i| i * 7).collect();
+        for depth in [1, 2, 4, 6, 9, 32] {
+            check(&table, &values, depth);
+        }
+    }
+
+    #[test]
+    fn fewer_values_than_pipeline_width() {
+        let table: Vec<u32> = (0..64).collect();
+        check(&table, &[5, 60], 9);
+        check(&table, &[5], 4);
+    }
+
+    #[test]
+    fn empty_inputs_and_tiny_tables() {
+        let table: Vec<u32> = (0..64).collect();
+        check(&table, &[], 4);
+        check(&[], &[1, 2, 3], 4);
+        check(&[42], &[0, 42, 100], 4);
+        check(&[1, 9], &[0, 1, 5, 9, 10], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "depth")]
+    fn zero_depth_rejected() {
+        let t = vec![1u32];
+        let mem = DirectMem::new(&t);
+        bulk_rank_spp(&mem, &[1], 0, &mut [0]);
+    }
+
+    #[test]
+    fn string_keys_work() {
+        use crate::key::Str16;
+        let table: Vec<Str16> = (0..321).map(|i| Str16::from_index(i * 2)).collect();
+        let mem = DirectMem::new(&table);
+        let values: Vec<Str16> = (0..90).map(|i| Str16::from_index(i * 7 + 1)).collect();
+        let mut out = vec![0u32; values.len()];
+        bulk_rank_spp(&mem, &values, 6, &mut out);
+        for (i, v) in values.iter().enumerate() {
+            assert_eq!(out[i], rank_oracle(&table, v));
+        }
+    }
+
+    #[test]
+    fn matches_gp_exactly() {
+        use crate::gp::bulk_rank_gp;
+        let table: Vec<u32> = (0..4096).collect();
+        let values: Vec<u32> = (0..500).map(|i| i * 13 % 5000).collect();
+        let mem = DirectMem::new(&table);
+        let mut spp = vec![0u32; values.len()];
+        let mut gp = vec![0u32; values.len()];
+        bulk_rank_spp(&mem, &values, 9, &mut spp);
+        bulk_rank_gp(&mem, &values, 10, &mut gp);
+        assert_eq!(spp, gp);
+    }
+}
