@@ -4,7 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
-use isi_csb::{bulk_lookup_amac, bulk_lookup_interleaved, bulk_lookup_seq, CsbTree, DirectTreeStore};
+use isi_csb::{
+    bulk_lookup_amac, bulk_lookup_interleaved, bulk_lookup_seq, CsbTree, DirectTreeStore,
+};
 
 fn bench_csb(c: &mut Criterion) {
     // ~8M entries: nodes + leaves far exceed typical L2, stressing the

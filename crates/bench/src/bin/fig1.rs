@@ -10,7 +10,9 @@
 //!
 //! Usage: `cargo run --release -p isi-bench --bin fig1`
 
-use isi_columnstore::{bits_for, execute_in, BitPackedVec, Column, ExecMode, MainDictionary, MainPart};
+use isi_columnstore::{
+    bits_for, execute_in, BitPackedVec, Column, ExecMode, MainDictionary, MainPart,
+};
 use isi_core::stats::time_avg;
 
 use isi_bench::{banner, size_sweep_mb, HarnessCfg};
@@ -21,7 +23,10 @@ fn main() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(4_000_000);
-    banner("Figure 1: IN-predicate query response time, Main part", &cfg);
+    banner(
+        "Figure 1: IN-predicate query response time, Main part",
+        &cfg,
+    );
     println!("# rows={rows}, predicate values={}", cfg.lookups);
     println!(
         "\n{:>8} {:>14} {:>18} {:>9}",

@@ -59,6 +59,8 @@ fn main() {
         }
         println!();
     }
-    println!("\n# paper shape: interleaved (GP/AMAC/CORO) flat-ish; sequential rises past the LLC;");
+    println!(
+        "\n# paper shape: interleaved (GP/AMAC/CORO) flat-ish; sequential rises past the LLC;"
+    );
     println!("# GP fastest, CORO ~ AMAC; string curves smoother than int.");
 }

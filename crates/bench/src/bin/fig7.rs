@@ -15,7 +15,10 @@ use isi_workloads as wl;
 
 fn main() {
     let cfg = HarnessCfg::from_env();
-    banner("Figure 7: cycles per search vs group size (256 MB int array)", &cfg);
+    banner(
+        "Figure 7: cycles per search vs group size (256 MB int array)",
+        &cfg,
+    );
     let mb = 256.min(cfg.max_mb.max(16));
     let lookups = cfg.lookups.min(3000);
 
@@ -38,17 +41,16 @@ fn main() {
 
     let mut g1_retiring = std::collections::BTreeMap::new();
     for g in 1..=12usize {
-        let impls = [
-            SearchImpl::Gp(g),
-            SearchImpl::Amac(g),
-            SearchImpl::Coro(g),
-        ];
+        let impls = [SearchImpl::Gp(g), SearchImpl::Amac(g), SearchImpl::Coro(g)];
         print!("{:>6}", g);
         for impl_ in impls {
             let vals = b.fresh(lookups);
             let s = b.run(impl_, &vals);
             if g == 1 {
-                g1_retiring.insert(impl_.name(), (s.retiring + s.core) / lookups as f64 / misses);
+                g1_retiring.insert(
+                    impl_.name(),
+                    (s.retiring + s.core) / lookups as f64 / misses,
+                );
             }
             print!(" {:>10.2}", s.cycles / lookups as f64 / 100.0);
         }
@@ -80,10 +82,34 @@ fn main() {
         let lk = wl::uniform_lookups(table.len(), cfg.lookups);
         println!("{:>6} {:>10} {:>10} {:>10}", "G", "GP", "AMAC", "CORO");
         for g in 1..=12usize {
-            let gp = cycles_per_search(&table, &lk, SearchImpl::Gp(g), cfg.reps, cfg.cycles_per_ns());
-            let am = cycles_per_search(&table, &lk, SearchImpl::Amac(g), cfg.reps, cfg.cycles_per_ns());
-            let co = cycles_per_search(&table, &lk, SearchImpl::Coro(g), cfg.reps, cfg.cycles_per_ns());
-            println!("{:>6} {:>10.2} {:>10.2} {:>10.2}", g, gp / 100.0, am / 100.0, co / 100.0);
+            let gp = cycles_per_search(
+                &table,
+                &lk,
+                SearchImpl::Gp(g),
+                cfg.reps,
+                cfg.cycles_per_ns(),
+            );
+            let am = cycles_per_search(
+                &table,
+                &lk,
+                SearchImpl::Amac(g),
+                cfg.reps,
+                cfg.cycles_per_ns(),
+            );
+            let co = cycles_per_search(
+                &table,
+                &lk,
+                SearchImpl::Coro(g),
+                cfg.reps,
+                cfg.cycles_per_ns(),
+            );
+            println!(
+                "{:>6} {:>10.2} {:>10.2} {:>10.2}",
+                g,
+                gp / 100.0,
+                am / 100.0,
+                co / 100.0
+            );
         }
     }
 

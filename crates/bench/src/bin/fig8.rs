@@ -31,7 +31,10 @@ fn main() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(4_000_000);
-    banner("Figure 8: IN-predicate queries, Main and Delta parts (ms)", &cfg);
+    banner(
+        "Figure 8: IN-predicate queries, Main and Delta parts (ms)",
+        &cfg,
+    );
     println!("# rows={rows}, predicate values={}", cfg.lookups);
     println!(
         "\n{:>8} {:>10} {:>12} {:>10} {:>12}",
@@ -74,7 +77,11 @@ fn main() {
             std::hint::black_box(execute_in(&delta_col, &values, ExecMode::Sequential));
         });
         let d_int = time_avg(cfg.reps, || {
-            std::hint::black_box(execute_in(&delta_col, &values, ExecMode::Interleaved(group)));
+            std::hint::black_box(execute_in(
+                &delta_col,
+                &values,
+                ExecMode::Interleaved(group),
+            ));
         });
         drop(delta_col);
 

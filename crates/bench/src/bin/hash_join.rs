@@ -27,7 +27,10 @@ fn probe_set(n: u64, count: usize, seed: u64) -> Vec<u64> {
 
 fn main() {
     let cfg = HarnessCfg::from_env();
-    banner("Hash-join probe (Section 6 extension): cycles per probe", &cfg);
+    banner(
+        "Hash-join probe (Section 6 extension): cycles per probe",
+        &cfg,
+    );
     let group = cfg.groups.2;
     println!(
         "\n{:>12} {:>12} {:>12} {:>12} {:>9}",
@@ -57,13 +60,19 @@ fn main() {
             total_ns * cfg.cycles_per_ns() / (cfg.reps * cfg.lookups) as f64
         };
 
-        let seq = measure(&mut |p, o| {
-            bulk_probe_seq(&table, p, o);
-        }, 1);
+        let seq = measure(
+            &mut |p, o| {
+                bulk_probe_seq(&table, p, o);
+            },
+            1,
+        );
         let amac = measure(&mut |p, o| bulk_probe_amac(&table, p, group, o), 2);
-        let coro = measure(&mut |p, o| {
-            bulk_probe_interleaved(&table, p, group, o);
-        }, 3);
+        let coro = measure(
+            &mut |p, o| {
+                bulk_probe_interleaved(&table, p, group, o);
+            },
+            3,
+        );
         println!(
             "{:>9} MB {:>12.0} {:>12.0} {:>12.0} {:>8.2}x",
             n * 16 / (1 << 20),
@@ -106,13 +115,22 @@ fn main() {
                 run_interleaved(
                     group,
                     probes,
-                    |k| probe_coro_on::<true, u64, u64, _, _>(buckets.mem(), entries.mem(), mask, k),
+                    |k| {
+                        probe_coro_on::<true, u64, u64, _, _>(buckets.mem(), entries.mem(), mask, k)
+                    },
                     |_, r: Option<u64>| found += r.is_some() as usize,
                 );
             } else {
                 run_sequential(
                     probes,
-                    |k| probe_coro_on::<false, u64, u64, _, _>(buckets.mem(), entries.mem(), mask, k),
+                    |k| {
+                        probe_coro_on::<false, u64, u64, _, _>(
+                            buckets.mem(),
+                            entries.mem(),
+                            mask,
+                            k,
+                        )
+                    },
                     |_, r: Option<u64>| found += r.is_some() as usize,
                 );
             }

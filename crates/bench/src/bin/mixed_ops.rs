@@ -71,12 +71,18 @@ fn main() {
             Op::Tree(v) => {
                 let v = *v;
                 Box::pin(async move {
-                    lookup_coro::<true, u32, u32, _>(store, v).await.unwrap_or(u32::MAX) as u64
+                    lookup_coro::<true, u32, u32, _>(store, v)
+                        .await
+                        .unwrap_or(u32::MAX) as u64
                 })
             }
             Op::Hash(k) => {
                 let k = *k;
-                Box::pin(async move { probe_coro::<true, u64, u64>(hash, k).await.unwrap_or(u64::MAX) })
+                Box::pin(async move {
+                    probe_coro::<true, u64, u64>(hash, k)
+                        .await
+                        .unwrap_or(u64::MAX)
+                })
             }
         }
     };
@@ -103,7 +109,10 @@ fn main() {
         (3 * n * 4) >> 20
     );
     println!("  sequential : {seq:>9.2?}");
-    println!("  interleaved: {inter:>9.2?}  (one group of {} heterogeneous coroutines)", cfg.groups.2);
+    println!(
+        "  interleaved: {inter:>9.2?}  (one group of {} heterogeneous coroutines)",
+        cfg.groups.2
+    );
     println!(
         "  speedup    : {:.2}x",
         seq.as_secs_f64() / inter.as_secs_f64()

@@ -97,7 +97,14 @@ fn main() {
         }
         println!(
             "{:>6}cyc {:>10.0} {:>8.0} {:>8.0} {:>8.0} {:>8.0} {:>9.2}x {:>7}",
-            lat, base, row[0], row[1], row[2], row[3], base / best.1, best.0
+            lat,
+            base,
+            row[0],
+            row[1],
+            row[2],
+            row[3],
+            base / best.1,
+            best.0
         );
     }
     println!("\n# paper's conjecture: higher (remote) latency -> larger interleaving win,");

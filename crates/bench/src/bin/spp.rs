@@ -17,7 +17,10 @@ use isi_search::{bulk_rank_spp, rank_oracle};
 
 fn main() {
     let cfg = HarnessCfg::from_env();
-    banner("SPP ablation: static pipeline vs static group vs coroutines", &cfg);
+    banner(
+        "SPP ablation: static pipeline vs static group vs coroutines",
+        &cfg,
+    );
     let mb = 64.min(cfg.max_mb.max(16));
     let lookups = cfg.lookups.min(3000);
     let mut b = SimBench::new(mb, lookups);

@@ -49,7 +49,10 @@ fn main() {
         results.push((format!("Delta {mb}MB"), pct, s.cpi()));
     }
 
-    println!("\n{:<14} {:>12} {:>22}", "", "Runtime %", "Cycles per Instruction");
+    println!(
+        "\n{:<14} {:>12} {:>22}",
+        "", "Runtime %", "Cycles per Instruction"
+    );
     for (label, pct, cpi) in &results {
         println!("{:<14} {:>11.1}% {:>22.2}", label, pct, cpi);
     }

@@ -28,7 +28,10 @@ fn main() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(256);
-    banner("Table 2: pipeline-slot breakdown for locate (simulated)", &cfg);
+    banner(
+        "Table 2: pipeline-slot breakdown for locate (simulated)",
+        &cfg,
+    );
     let lookups = cfg.lookups.min(5000);
 
     println!(

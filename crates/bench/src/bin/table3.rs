@@ -66,5 +66,8 @@ fn main() {
     );
     println!("\n# paper: GP very-low overhead / high complexity; AMAC low / very high;");
     println!("# coroutines low / very low.");
-    assert!(gp_sw <= amac_sw + 1.0 && gp_sw <= coro_sw + 1.0, "GP has least overhead");
+    assert!(
+        gp_sw <= amac_sw + 1.0 && gp_sw <= coro_sw + 1.0,
+        "GP has least overhead"
+    );
 }

@@ -84,7 +84,11 @@ impl BitPackedVec {
     /// Panics if `idx >= len`.
     #[inline]
     pub fn get(&self, idx: usize) -> u32 {
-        assert!(idx < self.len, "index {idx} out of bounds (len {})", self.len);
+        assert!(
+            idx < self.len,
+            "index {idx} out of bounds (len {})",
+            self.len
+        );
         let bit = idx * self.width as usize;
         let word = bit / 64;
         let off = (bit % 64) as u32;
@@ -270,7 +274,10 @@ mod tests {
         for c in [0u32, 1, u32::MAX, u32::MAX - 1, 12345] {
             v.push(c);
         }
-        assert_eq!(v.iter().collect::<Vec<_>>(), vec![0, 1, u32::MAX, u32::MAX - 1, 12345]);
+        assert_eq!(
+            v.iter().collect::<Vec<_>>(),
+            vec![0, 1, u32::MAX, u32::MAX - 1, 12345]
+        );
     }
 
     #[test]
@@ -290,7 +297,9 @@ mod tests {
         let mut hits = Vec::new();
         v.scan_members(&member, |pos, code| hits.push((pos, code)));
         assert_eq!(hits.len(), 20);
-        assert!(hits.iter().all(|&(p, c)| (c == 3 || c == 7) && v.get(p) == c));
+        assert!(hits
+            .iter()
+            .all(|&(p, c)| (c == 3 || c == 7) && v.get(p) == c));
     }
 
     #[test]

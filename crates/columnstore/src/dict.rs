@@ -464,7 +464,9 @@ mod tests {
     fn delta_extract_locate_roundtrip_strings() {
         use isi_search::key::Str16;
         let mut d = DeltaDictionary::new();
-        let words: Vec<Str16> = (0..500u64).map(|i| Str16::from_index(i * 3 % 997)).collect();
+        let words: Vec<Str16> = (0..500u64)
+            .map(|i| Str16::from_index(i * 3 % 997))
+            .collect();
         let codes: Vec<u32> = words.iter().map(|w| d.insert_or_get(*w)).collect();
         for (w, c) in words.iter().zip(&codes) {
             assert_eq!(d.extract(*c), *w);

@@ -55,16 +55,21 @@ pub fn execute_in<K: SearchKey + Default>(
         ExecMode::Sequential => LocateStrategy::CoroSequential,
         ExecMode::Interleaved(g) => LocateStrategy::Coro(g),
     };
-    column.main.dict.bulk_locate(values, strategy, &mut main_codes);
+    column
+        .main
+        .dict
+        .bulk_locate(values, strategy, &mut main_codes);
 
     // Phase 1b: encode against the Delta dictionary.
     let mut delta_codes = vec![0u32; values.len()];
     match mode {
         ExecMode::Sequential => column.delta.dict.bulk_locate_seq(values, &mut delta_codes),
-        ExecMode::Interleaved(g) => column
-            .delta
-            .dict
-            .bulk_locate_interleaved(values, g, &mut delta_codes),
+        ExecMode::Interleaved(g) => {
+            column
+                .delta
+                .dict
+                .bulk_locate_interleaved(values, g, &mut delta_codes)
+        }
     }
 
     // Phase 2: membership bitsets + code-vector scans.

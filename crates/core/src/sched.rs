@@ -46,7 +46,11 @@ pub struct RunStats {
 /// resumed immediately), so the scheduler works for either mode.
 ///
 /// `sink` receives `(input_index, result)` in input order.
-pub fn run_sequential<I, F, S>(inputs: I, mut make: impl FnMut(I::Item) -> F, mut sink: S) -> RunStats
+pub fn run_sequential<I, F, S>(
+    inputs: I,
+    mut make: impl FnMut(I::Item) -> F,
+    mut sink: S,
+) -> RunStats
 where
     I: IntoIterator,
     F: Future,

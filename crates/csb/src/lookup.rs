@@ -61,7 +61,7 @@ where
         store.compute(TREE_SWITCH_COST);
     }
     store.compute(NODE_SEARCH_COST);
-    
+
     leaf.find(&value).map(|pos| leaf.values[pos])
 }
 
@@ -133,12 +133,8 @@ where
 /// AMAC-style tree lookup: the hand-written state machine the coroutine
 /// replaces (kept as the comparison baseline; the paper argues they are
 /// equivalent in capability and performance).
-pub fn bulk_lookup_amac<K, V, S>(
-    store: &S,
-    values: &[K],
-    group_size: usize,
-    out: &mut [Option<V>],
-) where
+pub fn bulk_lookup_amac<K, V, S>(store: &S, values: &[K], group_size: usize, out: &mut [Option<V>])
+where
     K: Copy + Ord + Default,
     V: Copy + Default,
     S: TreeStore<K, V>,
@@ -186,7 +182,11 @@ pub fn bulk_lookup_amac<K, V, S>(
                     st.idx = store.root();
                     st.level = store.height();
                     next_input += 1;
-                    st.stage = if st.level == 0 { Stage::Leaf } else { Stage::Descend };
+                    st.stage = if st.level == 0 {
+                        Stage::Leaf
+                    } else {
+                        Stage::Descend
+                    };
                 } else {
                     st.stage = Stage::Done;
                     not_done -= 1;
@@ -279,12 +279,18 @@ mod tests {
     fn lookup_on_empty_and_tiny_trees() {
         let t = CsbTree::<u32, u32>::new();
         let store = DirectTreeStore::new(&t);
-        assert_eq!(run_to_completion(lookup_coro::<true, _, _, _>(store, 1)), None);
+        assert_eq!(
+            run_to_completion(lookup_coro::<true, _, _, _>(store, 1)),
+            None
+        );
         assert_eq!(lookup_seq(&store, 1), None);
 
         let t = tree(3); // single leaf
         let store = DirectTreeStore::new(&t);
-        assert_eq!(run_to_completion(lookup_coro::<true, _, _, _>(store, 3)), Some(1));
+        assert_eq!(
+            run_to_completion(lookup_coro::<true, _, _, _>(store, 3)),
+            Some(1)
+        );
     }
 
     #[test]

@@ -132,7 +132,11 @@ impl<K: Copy + Ord + Default, V: Copy + Default> CsbTree<K, V> {
             height += 1;
         }
 
-        let root = if height == 0 { 0 } else { (inners.len() - 1) as u32 };
+        let root = if height == 0 {
+            0
+        } else {
+            (inners.len() - 1) as u32
+        };
         Self {
             inners,
             leaves,
@@ -650,7 +654,15 @@ mod tests {
         let items = t.items();
         assert_eq!(
             items,
-            vec![(1, 10), (2, 20), (3, 30), (5, 50), (7, 70), (8, 80), (9, 90)]
+            vec![
+                (1, 10),
+                (2, 20),
+                (3, 30),
+                (5, 50),
+                (7, 70),
+                (8, 80),
+                (9, 90)
+            ]
         );
     }
 }

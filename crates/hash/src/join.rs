@@ -111,7 +111,9 @@ mod tests {
     #[test]
     fn join_matches_nested_loop_oracle() {
         let build: Vec<(u32, u32)> = (0..500).map(|i| (i % 100, i)).collect();
-        let probe: Vec<(u32, char)> = (0..150).map(|i| (i, if i % 2 == 0 { 'x' } else { 'y' })).collect();
+        let probe: Vec<(u32, char)> = (0..150)
+            .map(|i| (i, if i % 2 == 0 { 'x' } else { 'y' }))
+            .collect();
         let expect = nested_loop_join(&build, &probe);
         let seq = hash_join(&build, &probe, JoinMode::Sequential);
         assert_eq!(seq, expect);
@@ -147,7 +149,12 @@ mod tests {
         let keys: Vec<u32> = out.iter().map(|(k, _, _)| *k).collect();
         assert!(keys.iter().all(|&k| k == 7));
         // Each probe tuple sees all three build payloads.
-        let payloads = sorted(out.iter().filter(|(_, _, p)| *p == 'a').map(|(_, b, _)| *b).collect());
+        let payloads = sorted(
+            out.iter()
+                .filter(|(_, _, p)| *p == 'a')
+                .map(|(_, b, _)| *b)
+                .collect(),
+        );
         assert_eq!(payloads, vec![1, 2, 3]);
     }
 }

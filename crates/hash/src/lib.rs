@@ -28,5 +28,7 @@ pub mod table;
 
 pub use build::{build_gp, build_seq};
 pub use join::{hash_join, nested_loop_join, JoinMode};
-pub use probe::{bulk_probe_amac, bulk_probe_interleaved, bulk_probe_seq, probe_coro, probe_coro_on};
+pub use probe::{
+    bulk_probe_amac, bulk_probe_interleaved, bulk_probe_seq, probe_coro, probe_coro_on,
+};
 pub use table::{ChainedHashTable, HashKey};

@@ -221,8 +221,8 @@ mod tests {
     #[test]
     fn working_set_larger_than_capacity_thrashes() {
         let mut c = Cache::new(4, 2); // 8 entries
-        // Stream 32 distinct keys twice: second pass still misses (LRU
-        // with a cyclic access pattern larger than capacity never hits).
+                                      // Stream 32 distinct keys twice: second pass still misses (LRU
+                                      // with a cyclic access pattern larger than capacity never hits).
         for _ in 0..2 {
             for k in 0..32u64 {
                 if !c.access(k) {

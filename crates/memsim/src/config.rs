@@ -172,8 +172,14 @@ impl MachineConfig {
     /// # Panics
     /// Panics (with a descriptive message) on degenerate geometry.
     pub fn validate(&self) {
-        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
-        assert!(self.page_bytes.is_power_of_two(), "page size must be a power of two");
+        assert!(
+            self.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        assert!(
+            self.page_bytes.is_power_of_two(),
+            "page size must be a power of two"
+        );
         assert!(self.page_bytes >= self.line_bytes);
         let _ = self.l1d.sets(self.line_bytes);
         let _ = self.l2.sets(self.line_bytes);

@@ -604,7 +604,11 @@ mod tests {
         let lvl = m.load(base, 4, false);
         assert_eq!(lvl, HitLevel::Lfb);
         let d = m.stats().delta_since(&before);
-        assert!(d.memory < 1.0, "stall should be fully hidden, got {}", d.memory);
+        assert!(
+            d.memory < 1.0,
+            "stall should be fully hidden, got {}",
+            d.memory
+        );
     }
 
     #[test]
@@ -632,12 +636,15 @@ mod tests {
     fn tlb_miss_costs_and_page_walks_are_counted() {
         let mut m = tiny(); // DTLB 4 entries, STLB 16
         let base = m.alloc_region(1 << 22); // 4 MiB: 1024 pages
-        // Touch 32 distinct pages: far beyond both TLBs.
+                                            // Touch 32 distinct pages: far beyond both TLBs.
         for p in 0..32u64 {
             m.load(base + p * 4096, 4, false);
         }
         let s = m.stats();
-        assert!(s.pw_dram + s.pw_l3 + s.pw_l2 + s.pw_l1 > 0, "expected page walks");
+        assert!(
+            s.pw_dram + s.pw_l3 + s.pw_l2 + s.pw_l1 > 0,
+            "expected page walks"
+        );
         // Second pass over the same 32 pages: TLBs (4+16 entries) cannot
         // hold 32 pages, so walks continue, but PTE lines now sit in the
         // caches -> cheaper walk levels appear.
@@ -646,7 +653,10 @@ mod tests {
             m.load(base + p * 4096, 4, false);
         }
         let d = m.stats().delta_since(&before);
-        assert!(d.pw_l1 + d.pw_l2 + d.pw_l3 > 0, "PTEs should now hit in caches");
+        assert!(
+            d.pw_l1 + d.pw_l2 + d.pw_l3 > 0,
+            "PTEs should now hit in caches"
+        );
     }
 
     #[test]
@@ -709,7 +719,10 @@ mod tests {
         m2.reset_stats();
         m2.load(b2 + 64 * 50, 1, true);
         let spec = m2.stats().memory;
-        assert!(spec < full * 0.75, "speculation must hide stall: {spec} vs {full}");
+        assert!(
+            spec < full * 0.75,
+            "speculation must hide stall: {spec} vs {full}"
+        );
 
         // ...but a misprediction re-charges the hidden part as bad_spec.
         // Force a mispredict: predictor init=1 predicts not-taken.

@@ -56,8 +56,14 @@ mod tests {
         let amac = AMAC_ITER as f64 / base;
         let coro = (CORO_ITER + CORO_SWITCH) as f64 / base;
         assert!((1.5..=2.5).contains(&gp), "GP ratio {gp} vs paper 1.8x");
-        assert!((3.8..=5.0).contains(&amac), "AMAC ratio {amac} vs paper 4.4x");
-        assert!((3.5..=5.5).contains(&coro), "CORO ratio {coro} vs paper 5.4x");
+        assert!(
+            (3.8..=5.0).contains(&amac),
+            "AMAC ratio {amac} vs paper 4.4x"
+        );
+        assert!(
+            (3.5..=5.5).contains(&coro),
+            "CORO ratio {coro} vs paper 5.4x"
+        );
         assert!(gp < amac && gp < coro, "GP has the least overhead");
         // Net cycle cost: CORO at or slightly below AMAC (§5.3).
         assert!(coro <= amac);
@@ -72,7 +78,10 @@ mod tests {
         let stall = 182.0 - 35.0;
         let coro = StreamParams::new(CORO_ITER as f64, CORO_SWITCH as f64, stall);
         let g_coro = optimal_group_size(coro);
-        assert!((5..=8).contains(&g_coro), "CORO estimate {g_coro}, paper ~6");
+        assert!(
+            (5..=8).contains(&g_coro),
+            "CORO estimate {g_coro}, paper ~6"
+        );
         let gp = StreamParams::new((GP_ITER + GP_PREFETCH) as f64, 1.0, stall);
         let g_gp = optimal_group_size_capped(gp, 10);
         assert_eq!(g_gp, 10, "GP is LFB-capped at 10, as observed in Fig. 7");

@@ -37,6 +37,8 @@ pub use coro::{bulk_rank_coro, bulk_rank_coro_seq, rank_coro};
 pub use gp::bulk_rank_gp;
 pub use key::{FixedStr, SearchKey, Str16};
 pub use locate::{bulk_locate_interleaved, bulk_locate_seq, locate, NOT_FOUND};
-pub use seq::{bulk_rank_branchfree, bulk_rank_branchy, rank_branchfree, rank_branchy, rank_oracle};
+pub use seq::{
+    bulk_rank_branchfree, bulk_rank_branchy, rank_branchfree, rank_branchy, rank_oracle,
+};
 pub use sorted::{bulk_rank_sorted, bulk_rank_sorted_interleaved};
 pub use spp::bulk_rank_spp;

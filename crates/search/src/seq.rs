@@ -85,7 +85,11 @@ pub fn bulk_rank_branchy<K: SearchKey, M: IndexedMem<K>>(mem: &M, values: &[K], 
 ///
 /// # Panics
 /// Panics if `out.len() != values.len()`.
-pub fn bulk_rank_branchfree<K: SearchKey, M: IndexedMem<K>>(mem: &M, values: &[K], out: &mut [u32]) {
+pub fn bulk_rank_branchfree<K: SearchKey, M: IndexedMem<K>>(
+    mem: &M,
+    values: &[K],
+    out: &mut [u32],
+) {
     assert_eq!(values.len(), out.len(), "output length mismatch");
     for (v, o) in values.iter().zip(out.iter_mut()) {
         *o = rank_branchfree(mem, *v);

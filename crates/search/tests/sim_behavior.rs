@@ -203,8 +203,14 @@ fn group_size_sweep_has_interior_optimum_for_coro() {
     // Figure 7: group size 1 is *slower* than the sequential baseline
     // (pure switch overhead), while the model-optimal group is much
     // faster than both.
-    assert!(g1 > base, "G=1 CORO ({g1:.0}) must lose to baseline ({base:.0})");
-    assert!(g6 < base * 0.7, "G=6 CORO ({g6:.0}) must beat baseline ({base:.0})");
+    assert!(
+        g1 > base,
+        "G=1 CORO ({g1:.0}) must lose to baseline ({base:.0})"
+    );
+    assert!(
+        g6 < base * 0.7,
+        "G=6 CORO ({g6:.0}) must beat baseline ({base:.0})"
+    );
     assert!(g6 < g1 * 0.6);
 }
 
@@ -265,7 +271,10 @@ fn branchy_speculation_beats_branchfree_out_of_cache_only() {
         "bad speculation should be visible, got {:.2}",
         branchy.bad_spec / branchy.cycles
     );
-    assert!(branchy.mispredicts * 3 > branchy.branches, "~50% mispredicts");
+    assert!(
+        branchy.mispredicts * 3 > branchy.branches,
+        "~50% mispredicts"
+    );
 
     // In cache: nothing to hide, mispredicts just cost -> baseline wins.
     let mut s = Bench::new(SMALL);

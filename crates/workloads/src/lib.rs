@@ -194,7 +194,10 @@ mod tests {
             "top 1% should draw >25% of skewed lookups, got {head}"
         );
         let uniform = zipf_lookups(len, 20_000, 0.0, 7);
-        let head_u = uniform.iter().filter(|&&v| (v as usize) < len / 100).count();
+        let head_u = uniform
+            .iter()
+            .filter(|&&v| (v as usize) < len / 100)
+            .count();
         assert!(head_u < 20_000 / 20, "uniform head too heavy: {head_u}");
         assert!(uniform.iter().all(|&v| (v as usize) < len));
     }
@@ -226,5 +229,34 @@ mod tests {
     #[should_panic(expected = "empty array")]
     fn sampling_empty_panics() {
         uniform_indices(0, 1, 0);
+    }
+
+    #[test]
+    fn every_generator_is_deterministic_across_calls() {
+        // The paper seeds mt19937 with 0 so experiments are replayable;
+        // every generator here must likewise yield identical output on
+        // repeated calls with the same explicit seed.
+        assert_eq!(
+            uniform_indices(8_192, 1_000, SEED),
+            uniform_indices(8_192, 1_000, SEED)
+        );
+        assert_eq!(uniform_lookups(8_192, 1_000), uniform_lookups(8_192, 1_000));
+        assert_eq!(
+            uniform_string_lookups(4_096, 500),
+            uniform_string_lookups(4_096, 500)
+        );
+        assert_eq!(sorted_lookups(8_192, 1_000), sorted_lookups(8_192, 1_000));
+        assert_eq!(
+            zipf_lookups(8_192, 1_000, 0.99, SEED),
+            zipf_lookups(8_192, 1_000, 0.99, SEED)
+        );
+        assert_eq!(tpcds_q8_zipcodes(400, SEED), tpcds_q8_zipcodes(400, SEED));
+        assert_eq!(shuffled_indices(4_096, SEED), shuffled_indices(4_096, SEED));
+
+        // And a different seed must actually change the stream.
+        assert_ne!(
+            uniform_indices(8_192, 1_000, SEED),
+            uniform_indices(8_192, 1_000, SEED + 1)
+        );
     }
 }

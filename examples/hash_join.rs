@@ -32,7 +32,12 @@ fn main() {
     let t_int = t.elapsed();
 
     assert_eq!(seq, inter, "join output must not depend on the probe mode");
-    println!("customers: {} | orders: {} | matches: {}", n_cust, orders.len(), seq.len());
+    println!(
+        "customers: {} | orders: {} | matches: {}",
+        n_cust,
+        orders.len(),
+        seq.len()
+    );
     println!("  sequential probe : {t_seq:>9.2?}");
     println!("  interleaved probe: {t_int:>9.2?}");
     println!(

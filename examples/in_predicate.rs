@@ -52,9 +52,7 @@ fn main() {
 
     println!(
         "SELECT ... WHERE ca_zip IN (<400 zips>): {} rows ({} zips matched main, {} delta)",
-        stats.rows,
-        stats.main_matches,
-        stats.delta_matches
+        stats.rows, stats.main_matches, stats.delta_matches
     );
     println!("  sequential encode : {seq:>9.2?}");
     println!("  interleaved encode: {inter:>9.2?}");

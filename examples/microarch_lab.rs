@@ -68,7 +68,11 @@ fn main() {
         let vals = fresh(LOOKUPS);
         let mut out = vec![0u32; vals.len()];
         bulk_rank_coro(arr.mem(), &vals, group, &mut out);
-        breakdown(&format!("coroutines, group={group}"), &machine.stats(), LOOKUPS);
+        breakdown(
+            &format!("coroutines, group={group}"),
+            &machine.stats(),
+            LOOKUPS,
+        );
         println!();
     }
 

@@ -75,8 +75,16 @@ fn main() {
     assert_eq!(check, out.iter().map(|&r| r as u64).sum::<u64>());
 
     println!("array: {} MB, lookups: {}", (n * 8) >> 20, lookups.len());
-    println!("sequential : {:>8.2?}  ({:.0} ns/lookup)", seq, seq.as_nanos() as f64 / 1e4);
-    println!("interleaved: {:>8.2?}  ({:.0} ns/lookup)", inter, inter.as_nanos() as f64 / 1e4);
+    println!(
+        "sequential : {:>8.2?}  ({:.0} ns/lookup)",
+        seq,
+        seq.as_nanos() as f64 / 1e4
+    );
+    println!(
+        "interleaved: {:>8.2?}  ({:.0} ns/lookup)",
+        inter,
+        inter.as_nanos() as f64 / 1e4
+    );
     println!(
         "speedup    : {:.2}x (same coroutine, different scheduler)",
         seq.as_secs_f64() / inter.as_secs_f64()

@@ -31,7 +31,10 @@ fn full_table_lifecycle_with_interleaved_queries() {
 
     table.merge_all_deltas();
     let after_merge = table.select_in("zip", &in_list, ExecMode::Interleaved(6));
-    assert_eq!(before_merge.0, after_merge.0, "merge must not change results");
+    assert_eq!(
+        before_merge.0, after_merge.0,
+        "merge must not change results"
+    );
 
     // Post-merge appends land in a fresh delta.
     for i in 0..5_000u64 {
@@ -48,7 +51,11 @@ fn search_and_tree_agree_on_the_same_dictionary() {
     // CSB+-tree) must locate every value identically.
     let n = 50_000u32;
     let dict: Vec<u32> = (0..n).map(|i| i * 3 + 1).collect();
-    let pairs: Vec<(u32, u32)> = dict.iter().enumerate().map(|(i, v)| (*v, i as u32)).collect();
+    let pairs: Vec<(u32, u32)> = dict
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (*v, i as u32))
+        .collect();
     let tree = CsbTree::from_sorted(&pairs);
     let store = DirectTreeStore::new(&tree);
     let mem = DirectMem::new(&dict);
@@ -82,7 +89,11 @@ fn hash_join_consistent_with_in_predicate_semantics() {
     let (row_ids, _) = execute_in(&column, &in_list, ExecMode::Interleaved(6));
 
     let build: Vec<(u32, ())> = in_list.iter().map(|v| (*v, ())).collect();
-    let probe: Vec<(u32, u64)> = rows.iter().enumerate().map(|(i, v)| (*v, i as u64)).collect();
+    let probe: Vec<(u32, u64)> = rows
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (*v, i as u64))
+        .collect();
     let mut joined: Vec<u64> = hash_join(&build, &probe, JoinMode::Interleaved(6))
         .into_iter()
         .map(|(_, _, row)| row)

@@ -1,0 +1,188 @@
+//! Offline stub of the `criterion` 0.5 API surface used by this
+//! workspace's benches.
+//!
+//! Each `Bencher::iter` call runs a short warmup, then `sample_size`
+//! timed samples, and prints `group/id: <ns/iter> (<elem/s>)` on one
+//! line. No statistical analysis, plots, or CLI args — just enough to
+//! compile and produce comparable wall-clock numbers offline.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Units for the per-iteration throughput line.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A benchmark label: `function` plus an optional parameter, printed
+/// as `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Passed to the closure given to `bench_function`; `iter` performs the
+/// measurement.
+pub struct Bencher<'a> {
+    group: &'a str,
+    id: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl Bencher<'_> {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One warmup iteration, then `sample_size` timed iterations.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.sample_size {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        let per_iter = elapsed.as_nanos() as f64 / self.sample_size as f64;
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!(" ({:.1} Melem/s)", n as f64 / per_iter * 1e3)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!(" ({:.1} MB/s)", n as f64 / per_iter * 1e3)
+            }
+            None => String::new(),
+        };
+        let name = if self.group.is_empty() {
+            self.id.clone()
+        } else {
+            format!("{}/{}", self.group, self.id)
+        };
+        println!("bench {name}: {per_iter:.0} ns/iter{rate}");
+    }
+}
+
+/// A named group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id: BenchmarkId = id.into();
+        let mut b = Bencher {
+            group: &self.name,
+            id: id.label,
+            sample_size: self.sample_size,
+            throughput: self.throughput,
+        };
+        f(&mut b);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// The top-level driver handed to each `criterion_group!` target.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id: BenchmarkId = id.into();
+        let mut b = Bencher {
+            group: "",
+            id: id.label,
+            sample_size: self.default_sample_size,
+            throughput: None,
+        };
+        f(&mut b);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
