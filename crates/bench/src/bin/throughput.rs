@@ -1,0 +1,118 @@
+//! `throughput` — the morsel-parallel lookup throughput sweep.
+//!
+//! Measures lookups/sec for {branchfree, GP, AMAC, CORO} × {table
+//! size} × {thread count} through the parallel bulk drivers and writes
+//! a machine-readable `BENCH_throughput.json` (schema
+//! `isi-throughput/v1`), self-verifying the document before exiting.
+//!
+//! ```text
+//! throughput [--smoke] [--out PATH]        run the sweep
+//! throughput --verify PATH                 validate an existing file
+//! ```
+//!
+//! Knobs (full mode): `--lookups N`, `--reps N`, `--sizes a,b,..`,
+//! `--threads a,b,..`, `--morsel N`.
+
+use isi_bench::throughput::{run_sweep, to_json, verify, verify_text, ThroughputCfg};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("throughput: {msg}");
+    std::process::exit(1)
+}
+
+fn parse_list(s: &str, flag: &str) -> Vec<usize> {
+    let list: Vec<usize> = s
+        .split(',')
+        .map(|p| {
+            // Zero would be silently remapped by ParConfig (0 threads =
+            // machine parallelism), mislabeling the recorded cells, so
+            // the sweep only accepts explicit positive values.
+            p.trim()
+                .parse()
+                .ok()
+                .filter(|&v: &usize| v > 0)
+                .unwrap_or_else(|| fail(&format!("bad {flag} entry {p:?} (need integer >= 1)")))
+        })
+        .collect();
+    if list.is_empty() {
+        fail(&format!("{flag} must be a non-empty list"));
+    }
+    list
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // `--smoke` picks the base preset before the knob flags apply, so
+    // `--lookups N --smoke` and `--smoke --lookups N` behave the same.
+    let mut cfg = if args.iter().any(|a| a == "--smoke") {
+        ThroughputCfg::smoke()
+    } else {
+        ThroughputCfg::full()
+    };
+    let mut out_path = "BENCH_throughput.json".to_string();
+    let mut verify_path: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .unwrap_or_else(|| fail(&format!("{flag} needs a value")))
+                .clone()
+        };
+        match arg.as_str() {
+            "--smoke" => {}
+            "--out" => out_path = value("--out"),
+            "--verify" => verify_path = Some(value("--verify")),
+            "--lookups" => {
+                cfg.lookups = value("--lookups")
+                    .parse()
+                    .ok()
+                    .filter(|&v: &usize| v > 0)
+                    .unwrap_or_else(|| fail("bad --lookups (need integer >= 1)"))
+            }
+            "--reps" => {
+                cfg.reps = value("--reps")
+                    .parse()
+                    .ok()
+                    .filter(|&v: &usize| v > 0)
+                    .unwrap_or_else(|| fail("bad --reps (need integer >= 1)"))
+            }
+            "--sizes" => cfg.table_sizes = parse_list(&value("--sizes"), "--sizes"),
+            "--threads" => cfg.thread_counts = parse_list(&value("--threads"), "--threads"),
+            "--morsel" => {
+                cfg.morsel_size = value("--morsel")
+                    .parse()
+                    .ok()
+                    .filter(|&v: &usize| v > 0)
+                    .unwrap_or_else(|| fail("bad --morsel (need integer >= 1)"))
+            }
+            other => fail(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    if let Some(path) = verify_path {
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| fail(&format!("read {path}: {e}")));
+        match verify_text(&text) {
+            Ok(()) => println!("{path}: OK ({} bytes)", text.len()),
+            Err(e) => fail(&format!("{path}: INVALID: {e}")),
+        }
+        return;
+    }
+
+    println!(
+        "# throughput sweep: sizes={:?} threads={:?} lookups={} reps={} morsel={}",
+        cfg.table_sizes, cfg.thread_counts, cfg.lookups, cfg.reps, cfg.morsel_size
+    );
+    let cells = run_sweep(&cfg, |c| {
+        println!(
+            "{:>10} size={:<9} threads={:<2} {:>12.0} lookups/s",
+            c.variant, c.table_size, c.threads, c.lookups_per_sec
+        );
+    });
+    let doc = to_json(&cfg, &cells);
+    verify(&doc).unwrap_or_else(|e| fail(&format!("produced document failed self-check: {e}")));
+    std::fs::write(&out_path, doc.to_pretty())
+        .unwrap_or_else(|e| fail(&format!("write {out_path}: {e}")));
+    println!("wrote {out_path}");
+}

@@ -17,14 +17,17 @@
 //! | `table5` | Table 5 — implementation complexity / code footprint (LoC) |
 //! | `hash_join` | §6 extension — interleaved hash-join probe |
 //! | `tlb_index` | §6 extension — B+-tree over sorted array vs TLB-thrashing binary search |
+//! | `throughput` | morsel-parallel lookup throughput sweep → `BENCH_throughput.json` ([`throughput`] module) |
 //!
 //! Environment knobs (all optional): `ISI_MAX_MB` (top of the size sweep,
 //! default 256), `ISI_LOOKUPS` (lookup-list length, default 10000),
 //! `ISI_REPS` (wall-clock repetitions, default 3), `ISI_GROUPS`
 //! ("gp,amac,coro" group sizes, default "10,6,6").
 
+pub mod json;
 pub mod loc;
 pub mod sim;
+pub mod throughput;
 pub mod wall;
 
 use std::time::Duration;

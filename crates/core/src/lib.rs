@@ -29,6 +29,10 @@
 //!   paper's Listing 7, generic over any lookup coroutine, with
 //!   allocation-free frame recycling (Section 4, "performance
 //!   considerations").
+//! * [`par`] — morsel-driven thread-parallel execution of the same
+//!   interleaved scheduler (the Section 5 multithreading composition):
+//!   work-stealing morsel cursor, scoped workers, per-worker frame-slab
+//!   reuse, merged [`RunStats`](sched::RunStats).
 //! * [`model`] — the analytic interleaving model of Section 3
 //!   (Inequality 1): estimating the optimal group size from per-stream
 //!   compute, switch and stall cycles.
@@ -90,6 +94,7 @@
 pub mod coro;
 pub mod mem;
 pub mod model;
+pub mod par;
 pub mod prefetch;
 pub mod sched;
 pub mod stats;
@@ -97,4 +102,8 @@ pub mod stats;
 pub use coro::{suspend, CoroHandle, Suspend};
 pub use mem::{DirectMem, IndexedMem};
 pub use model::{optimal_group_size, StreamParams};
-pub use sched::{run_interleaved, run_interleaved_boxed, run_sequential, RunStats};
+pub use par::{run_interleaved_par, DisjointOut, MorselCursor, ParConfig};
+pub use sched::{
+    run_interleaved, run_interleaved_boxed, run_interleaved_indexed, run_sequential, FrameSlab,
+    RunStats,
+};

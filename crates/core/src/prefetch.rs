@@ -54,14 +54,27 @@ pub fn prefetch_read_t0<T>(ptr: *const T) {
 /// causes no further misses.
 #[inline(always)]
 pub fn prefetch_object_nta<T>(ptr: *const T, bytes: usize) {
-    let start = ptr as usize;
-    // First line is always fetched; step through subsequent lines.
-    let mut addr = start;
-    let end = start + bytes.max(1);
-    while addr < end {
-        prefetch_read_nta(addr as *const u8);
-        addr += CACHE_LINE;
+    for line in object_lines(ptr as usize, bytes) {
+        prefetch_read_nta(line as *const u8);
     }
+}
+
+/// Base addresses of every cache line spanned by a `bytes`-byte object
+/// at address `start` — the walk [`prefetch_object_nta`] performs.
+///
+/// The walk is aligned down to the line boundary: stepping by
+/// `CACHE_LINE` from an unaligned `start` would cover `bytes` of
+/// addresses but could stop short of the object's final line (e.g.
+/// `start = 60`, `bytes = 8` spans lines 0 and 1, yet an unaligned walk
+/// ends at address 68 having only touched line 0). Prefetch operates on
+/// whole lines, so the iteration must too. Zero-sized objects get their
+/// first line anyway — matching the historical "first line is always
+/// fetched" behaviour, and a prefetch never faults.
+#[inline(always)]
+fn object_lines(start: usize, bytes: usize) -> impl Iterator<Item = usize> {
+    let first = start & !(CACHE_LINE - 1);
+    let last = (start + bytes.max(1) - 1) & !(CACHE_LINE - 1);
+    (first..=last).step_by(CACHE_LINE)
 }
 
 /// Number of cache lines spanned by an object of `bytes` bytes starting at
@@ -94,6 +107,45 @@ mod tests {
         // 200-byte object: must touch 4 lines when line-aligned.
         let buf = vec![0u8; 512];
         prefetch_object_nta(buf.as_ptr(), 200);
+        // Unaligned starts must still reach the final line.
+        prefetch_object_nta(unsafe { buf.as_ptr().add(60) }, 8);
+    }
+
+    #[test]
+    fn object_walk_agrees_with_lines_spanned() {
+        // The walk must visit exactly the lines the object spans, for
+        // every in-line offset and a spread of sizes — including the
+        // straddle cases an unaligned fixed-stride walk misses.
+        for offset in 0..CACHE_LINE {
+            let start = 10 * CACHE_LINE + offset;
+            for bytes in [1, 2, 7, 8, 63, 64, 65, 128, 200, 1000] {
+                let lines: Vec<usize> = object_lines(start, bytes).collect();
+                assert_eq!(
+                    lines.len(),
+                    lines_spanned(start, bytes),
+                    "start={start} bytes={bytes}"
+                );
+                // Every visited address is line-aligned, consecutive,
+                // and the first/last lines contain the object's ends.
+                assert!(lines.iter().all(|l| l % CACHE_LINE == 0));
+                assert!(lines.windows(2).all(|w| w[1] == w[0] + CACHE_LINE));
+                assert_eq!(lines[0], start / CACHE_LINE * CACHE_LINE);
+                assert_eq!(
+                    *lines.last().unwrap(),
+                    (start + bytes - 1) / CACHE_LINE * CACHE_LINE
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn object_walk_regression_unaligned_straddle() {
+        // The historical bug: start=60, bytes=8 stepped 60 -> 124 and
+        // never touched line 1, though the object ends at byte 67.
+        let lines: Vec<usize> = object_lines(60, 8).collect();
+        assert_eq!(lines, vec![0, 64]);
+        // Zero-sized objects still touch their first line (never fault).
+        assert_eq!(object_lines(130, 0).collect::<Vec<_>>(), vec![128]);
     }
 
     #[test]

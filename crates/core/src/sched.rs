@@ -37,6 +37,22 @@ pub struct RunStats {
     pub peak_in_flight: u64,
 }
 
+impl RunStats {
+    /// Fold another run's counters into this one: `lookups`, `resumes`
+    /// and `switches` are totals and sum; `peak_in_flight` is a maximum
+    /// and maxes. Used when a bulk run is split across morsels and
+    /// worker threads (see [`crate::par`]) — note the merged
+    /// `peak_in_flight` is therefore the peak of any *single* worker,
+    /// not the machine-wide total.
+    #[inline]
+    pub fn merge(&mut self, other: &RunStats) {
+        self.lookups += other.lookups;
+        self.resumes += other.resumes;
+        self.switches += other.switches;
+        self.peak_in_flight = self.peak_in_flight.max(other.peak_in_flight);
+    }
+}
+
 /// Run the lookups one after another — the paper's `runSequential`.
 ///
 /// Each coroutine is created and driven to completion before the next
@@ -91,30 +107,52 @@ struct Slot<F> {
     fut: F,
 }
 
-/// Run the lookups `group_size` at a time, switching streams at every
-/// suspension — the paper's `runInterleaved` (Listing 7).
+/// A reusable slab of coroutine-frame slots for [`run_interleaved_indexed`].
 ///
-/// A slab of `group_size` slots holds the coroutine frames inline. The
-/// scheduler cycles round-robin over the slots, resuming each unfinished
-/// lookup; when a lookup completes, its result is emitted and its slot is
-/// immediately refilled with the next input (frame recycling). The run
-/// ends when all inputs have completed.
+/// [`run_interleaved`] allocates one of these per call; callers that run
+/// many batches of the *same* lookup type (e.g. the morsel-parallel
+/// drivers in [`crate::par`]) create one slab per worker and reuse it
+/// across batches, so steady-state execution performs no heap
+/// allocations at all — the slab's buffer is allocated once and its
+/// capacity is retained between runs.
+pub struct FrameSlab<F> {
+    slots: Vec<Option<Slot<F>>>,
+}
+
+impl<F> FrameSlab<F> {
+    /// An empty slab; the buffer is allocated lazily by the first run.
+    pub fn new() -> Self {
+        Self { slots: Vec::new() }
+    }
+
+    /// Current buffer capacity in slots (0 before the first run).
+    pub fn capacity(&self) -> usize {
+        self.slots.capacity()
+    }
+}
+
+impl<F> Default for FrameSlab<F> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Core of the interleaved scheduler, factored out so the coroutine
+/// frame slab can be reused across calls and so inputs can carry
+/// caller-chosen indices (a morsel of a larger batch passes its global
+/// positions; see [`crate::par`]).
 ///
-/// Results are emitted in completion order; the sink receives the input
-/// index alongside each result so callers can scatter into an output
-/// array (as the paper's pseudocode does with `store result to results`).
-///
-/// `group_size == 0` is treated as `1`. A `group_size` of 1 degenerates to
-/// sequential execution plus switch overhead — the paper notes this
-/// configuration "makes no sense" for performance but it is valid.
-pub fn run_interleaved<I, F, S>(
+/// Semantics are identical to [`run_interleaved`] except that the sink
+/// receives the index paired with each input item rather than a
+/// 0-based enumeration.
+pub fn run_interleaved_indexed<T, F, S>(
+    slab: &mut FrameSlab<F>,
     group_size: usize,
-    inputs: I,
-    mut make: impl FnMut(I::Item) -> F,
+    inputs: impl IntoIterator<Item = (usize, T)>,
+    mut make: impl FnMut(T) -> F,
     mut sink: S,
 ) -> RunStats
 where
-    I: IntoIterator,
     F: Future,
     S: FnMut(usize, F::Output),
 {
@@ -123,11 +161,15 @@ where
     let mut cx = Context::from_waker(&waker);
     let mut stats = RunStats::default();
 
-    let mut inputs = inputs.into_iter().enumerate();
+    let mut inputs = inputs.into_iter();
 
-    // Fill the initial group. Slots never move once occupied: `Vec` growth
-    // happens only here, before any future is polled.
-    let mut slots: Vec<Option<Slot<F>>> = Vec::with_capacity(group_size);
+    // Reset the slab and guarantee capacity while it holds no futures:
+    // any growth happens here, before the first poll.
+    let slots = &mut slab.slots;
+    slots.clear();
+    if slots.capacity() < group_size {
+        slots.reserve(group_size);
+    }
     for _ in 0..group_size {
         match inputs.next() {
             Some((i, item)) => slots.push(Some(Slot {
@@ -144,12 +186,13 @@ where
     while not_done > 0 {
         for slot in slots.iter_mut() {
             let Some(s) = slot.as_mut() else { continue };
-            // SAFETY: the future lives inside the slab `Vec`, which is
-            // never reallocated after the fill loop above (capacity ==
-            // group_size, no pushes afterwards), and an occupied slot is
-            // only ever overwritten *after* its future completed and was
-            // dropped in place. Hence the future never moves between its
-            // first poll and its drop, satisfying `Pin`'s contract.
+            // SAFETY: the future lives inside the slab `Vec`, whose
+            // capacity was ensured above while the `Vec` was empty and
+            // which is never grown afterwards (pushes stop at
+            // `group_size <= capacity`), and an occupied slot is only
+            // ever overwritten *after* its future completed and was
+            // dropped in place. Hence the future never moves between
+            // its first poll and its drop, satisfying `Pin`'s contract.
             let fut = unsafe { Pin::new_unchecked(&mut s.fut) };
             stats.resumes += 1;
             match fut.poll(&mut cx) {
@@ -177,6 +220,43 @@ where
         }
     }
     stats
+}
+
+/// Run the lookups `group_size` at a time, switching streams at every
+/// suspension — the paper's `runInterleaved` (Listing 7).
+///
+/// A slab of `group_size` slots holds the coroutine frames inline. The
+/// scheduler cycles round-robin over the slots, resuming each unfinished
+/// lookup; when a lookup completes, its result is emitted and its slot is
+/// immediately refilled with the next input (frame recycling). The run
+/// ends when all inputs have completed.
+///
+/// Results are emitted in completion order; the sink receives the input
+/// index alongside each result so callers can scatter into an output
+/// array (as the paper's pseudocode does with `store result to results`).
+///
+/// `group_size == 0` is treated as `1`. A `group_size` of 1 degenerates to
+/// sequential execution plus switch overhead — the paper notes this
+/// configuration "makes no sense" for performance but it is valid.
+pub fn run_interleaved<I, F, S>(
+    group_size: usize,
+    inputs: I,
+    make: impl FnMut(I::Item) -> F,
+    sink: S,
+) -> RunStats
+where
+    I: IntoIterator,
+    F: Future,
+    S: FnMut(usize, F::Output),
+{
+    let mut slab = FrameSlab::new();
+    run_interleaved_indexed(
+        &mut slab,
+        group_size,
+        inputs.into_iter().enumerate(),
+        make,
+        sink,
+    )
 }
 
 /// Ablation variant of [`run_interleaved`] that heap-allocates (boxes)
@@ -358,6 +438,88 @@ mod tests {
         let mut order = Vec::new();
         run_interleaved(2, [3u32, 0].iter().copied(), l, |i, r| order.push((i, r)));
         assert_eq!(order, vec![(1, 0), (0, 3)]);
+    }
+
+    #[test]
+    fn slab_is_reusable_across_runs_without_regrowing() {
+        let values: Vec<u32> = (0..40).collect();
+        let expect = collect_seq(&values);
+        let mut slab = FrameSlab::new();
+        for round in 0..3 {
+            let mut out = vec![0; values.len()];
+            run_interleaved_indexed(
+                &mut slab,
+                8,
+                values.iter().copied().enumerate(),
+                lookup,
+                |i, r| out[i] = r,
+            );
+            assert_eq!(out, expect, "round={round}");
+        }
+        // Capacity settled after the first run and never regrew.
+        assert_eq!(slab.capacity(), 8);
+        // A smaller group reuses the same buffer.
+        let mut out = vec![0; values.len()];
+        run_interleaved_indexed(
+            &mut slab,
+            3,
+            values.iter().copied().enumerate(),
+            lookup,
+            |i, r| out[i] = r,
+        );
+        assert_eq!(out, expect);
+        assert_eq!(slab.capacity(), 8);
+    }
+
+    #[test]
+    fn indexed_runner_passes_caller_indices_through() {
+        // A morsel covering global positions 100..104.
+        let values = [3u32, 1, 0, 2];
+        let mut slab = FrameSlab::new();
+        let mut got = Vec::new();
+        run_interleaved_indexed(
+            &mut slab,
+            2,
+            values
+                .iter()
+                .copied()
+                .enumerate()
+                .map(|(i, v)| (100 + i, v)),
+            lookup,
+            |i, r| got.push((i, r)),
+        );
+        got.sort_unstable();
+        assert_eq!(got, vec![(100, 6), (101, 2), (102, 0), (103, 4)]);
+    }
+
+    #[test]
+    fn merge_sums_totals_and_maxes_peak() {
+        let mut a = RunStats {
+            lookups: 10,
+            resumes: 30,
+            switches: 20,
+            peak_in_flight: 6,
+        };
+        let b = RunStats {
+            lookups: 7,
+            resumes: 9,
+            switches: 2,
+            peak_in_flight: 8,
+        };
+        a.merge(&b);
+        assert_eq!(
+            a,
+            RunStats {
+                lookups: 17,
+                resumes: 39,
+                switches: 22,
+                peak_in_flight: 8,
+            }
+        );
+        // Merging the empty stats is the identity.
+        let before = a;
+        a.merge(&RunStats::default());
+        assert_eq!(a, before);
     }
 
     #[test]

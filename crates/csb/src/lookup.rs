@@ -130,6 +130,42 @@ where
     )
 }
 
+/// Morsel-parallel bulk lookup: worker threads claim morsels of the
+/// probe batch and drive each through the *same* interleaved tree
+/// coroutine ([`lookup_coro`]) with `group_size` in-flight traversals,
+/// reusing one frame slab per worker across morsels (see
+/// [`isi_core::par`]).
+///
+/// Returns the merged [`RunStats`] (totals sum; `peak_in_flight` is the
+/// per-worker peak).
+///
+/// # Panics
+/// Panics if `out.len() != values.len()`.
+pub fn bulk_lookup_par<K, V, S>(
+    store: S,
+    values: &[K],
+    group_size: usize,
+    cfg: isi_core::par::ParConfig,
+    out: &mut [Option<V>],
+) -> RunStats
+where
+    K: Copy + Ord + Default + Sync,
+    V: Copy + Default + Send,
+    S: TreeStore<K, V> + Copy + Sync,
+{
+    assert_eq!(values.len(), out.len(), "output length mismatch");
+    let sink = isi_core::par::DisjointOut::new(out);
+    isi_core::par::run_interleaved_par(
+        cfg,
+        group_size,
+        values,
+        |v| lookup_coro::<true, K, V, S>(store, v),
+        // SAFETY: the scheduler emits each claimed input index exactly
+        // once, and claimed morsel ranges are disjoint across workers.
+        |i, r| unsafe { sink.write(i, r) },
+    )
+}
+
 /// AMAC-style tree lookup: the hand-written state machine the coroutine
 /// replaces (kept as the comparison baseline; the paper argues they are
 /// equivalent in capability and performance).
@@ -263,6 +299,25 @@ mod tests {
             let mut amac = vec![None; probes.len()];
             bulk_lookup_amac(&store, &probes, group, &mut amac);
             assert_eq!(amac, expect, "amac group={group}");
+        }
+    }
+
+    #[test]
+    fn parallel_bulk_lookup_matches_sequential() {
+        let t = tree(5000);
+        let store = DirectTreeStore::new(&t);
+        let probes: Vec<u32> = (0..2311).map(|i| i * 13 % 16000).collect();
+        let expect: Vec<Option<u32>> = probes.iter().map(|p| t.get(p)).collect();
+        for threads in [1, 2, 4] {
+            let cfg = isi_core::par::ParConfig {
+                threads,
+                morsel_size: 256,
+            };
+            let mut out = vec![None; probes.len()];
+            let stats = bulk_lookup_par(store, &probes, 6, cfg, &mut out);
+            assert_eq!(out, expect, "threads={threads}");
+            assert_eq!(stats.lookups, probes.len() as u64);
+            assert!(stats.peak_in_flight <= 6);
         }
     }
 

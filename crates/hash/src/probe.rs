@@ -126,6 +126,40 @@ pub fn bulk_probe_interleaved<K: HashKey, V: Copy>(
     )
 }
 
+/// Morsel-parallel bulk probe: worker threads claim morsels of the key
+/// batch and drive each through the *same* probe coroutine
+/// ([`probe_coro`]) with `group_size` in-flight probes, reusing one
+/// frame slab per worker across morsels (see [`isi_core::par`]).
+///
+/// Returns the merged [`RunStats`] (totals sum; `peak_in_flight` is the
+/// per-worker peak).
+///
+/// # Panics
+/// Panics if `out.len() != keys.len()`.
+pub fn bulk_probe_par<K, V>(
+    table: &ChainedHashTable<K, V>,
+    keys: &[K],
+    group_size: usize,
+    cfg: isi_core::par::ParConfig,
+    out: &mut [Option<V>],
+) -> RunStats
+where
+    K: HashKey + Sync,
+    V: Copy + Send + Sync,
+{
+    assert_eq!(keys.len(), out.len(), "output length mismatch");
+    let sink = isi_core::par::DisjointOut::new(out);
+    isi_core::par::run_interleaved_par(
+        cfg,
+        group_size,
+        keys,
+        |k| probe_coro::<true, K, V>(table, k),
+        // SAFETY: the scheduler emits each claimed input index exactly
+        // once, and claimed morsel ranges are disjoint across workers.
+        |i, r| unsafe { sink.write(i, r) },
+    )
+}
+
 /// AMAC-style probe: the hand-written state machine (Kocberber et al.
 /// demonstrate AMAC on exactly this workload). Kept as the comparison
 /// baseline for the coroutine version.
@@ -247,6 +281,23 @@ mod tests {
             let mut amac = vec![None; keys.len()];
             bulk_probe_amac(&t, &keys, group, &mut amac);
             assert_eq!(amac, expect, "amac group={group}");
+        }
+    }
+
+    #[test]
+    fn parallel_probe_matches_sequential() {
+        let t = table(10_000);
+        let keys: Vec<u64> = (0..4111).map(|i| i * 11 % 30_000).collect();
+        let expect: Vec<Option<u64>> = keys.iter().map(|k| t.get(k)).collect();
+        for threads in [1, 2, 4] {
+            let cfg = isi_core::par::ParConfig {
+                threads,
+                morsel_size: 512,
+            };
+            let mut out = vec![None; keys.len()];
+            let stats = bulk_probe_par(&t, &keys, 6, cfg, &mut out);
+            assert_eq!(out, expect, "threads={threads}");
+            assert_eq!(stats.lookups, keys.len() as u64);
         }
     }
 

@@ -17,6 +17,8 @@
 //! index `i` with `table[i] <= value`, clamped to 0 — so their outputs
 //! are interchangeable and cross-checked in the test suite.
 //! [`locate`](locate::locate) builds the dictionary access method on top.
+//! [`par`] layers morsel-parallel `*_par` variants over every bulk
+//! driver (same kernels, worker threads claiming morsels).
 
 pub mod adaptive;
 pub mod amac;
@@ -26,6 +28,7 @@ pub mod cost;
 pub mod gp;
 pub mod key;
 pub mod locate;
+pub mod par;
 pub mod seq;
 pub mod sorted;
 pub mod spp;
@@ -37,6 +40,10 @@ pub use coro::{bulk_rank_coro, bulk_rank_coro_seq, rank_coro};
 pub use gp::bulk_rank_gp;
 pub use key::{FixedStr, SearchKey, Str16};
 pub use locate::{bulk_locate_interleaved, bulk_locate_seq, locate, NOT_FOUND};
+pub use par::{
+    bulk_rank_amac_par, bulk_rank_branchfree_par, bulk_rank_branchy_par, bulk_rank_coro_par,
+    bulk_rank_gp_par,
+};
 pub use seq::{
     bulk_rank_branchfree, bulk_rank_branchy, rank_branchfree, rank_branchy, rank_oracle,
 };

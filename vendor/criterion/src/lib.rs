@@ -1,10 +1,16 @@
 //! Offline stub of the `criterion` 0.5 API surface used by this
 //! workspace's benches.
 //!
-//! Each `Bencher::iter` call runs a short warmup, then `sample_size`
-//! timed samples, and prints `group/id: <ns/iter> (<elem/s>)` on one
-//! line. No statistical analysis, plots, or CLI args — just enough to
-//! compile and produce comparable wall-clock numbers offline.
+//! Each `Bencher::iter` call runs `WARMUP_ITERS` untimed warmup
+//! iterations (to populate caches, branch predictors and lazy
+//! allocations), then `MEDIAN_SAMPLES` timed samples of
+//! `ceil(sample_size / MEDIAN_SAMPLES)` iterations each, and reports
+//! the **median** sample's per-iteration time — the median discards
+//! one-sided interference (preemption, page faults) that would skew an
+//! average, so wall-clock numbers are reproducible on a noisy machine.
+//! Output is one line, `bench group/id: <ns/iter> (<rate>)`. No
+//! statistical analysis, plots, or CLI args — just enough to compile
+//! and produce comparable wall-clock numbers offline.
 
 use std::fmt::Display;
 use std::time::Instant;
@@ -62,16 +68,31 @@ pub struct Bencher<'a> {
     throughput: Option<Throughput>,
 }
 
+/// Untimed iterations before measurement starts.
+const WARMUP_ITERS: usize = 3;
+
+/// Timed samples per benchmark; the median one is reported.
+const MEDIAN_SAMPLES: usize = 5;
+
 impl Bencher<'_> {
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
-        // One warmup iteration, then `sample_size` timed iterations.
-        black_box(routine());
-        let start = Instant::now();
-        for _ in 0..self.sample_size {
+        // Warmup: untimed iterations to settle caches and allocations.
+        for _ in 0..WARMUP_ITERS {
             black_box(routine());
         }
-        let elapsed = start.elapsed();
-        let per_iter = elapsed.as_nanos() as f64 / self.sample_size as f64;
+        // Median-of-k: split the `sample_size` iteration budget into
+        // MEDIAN_SAMPLES timed batches and report the median batch.
+        let batch = self.sample_size.div_ceil(MEDIAN_SAMPLES);
+        let mut samples = [0f64; MEDIAN_SAMPLES];
+        for sample in &mut samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            *sample = start.elapsed().as_nanos() as f64 / batch as f64;
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let per_iter = samples[MEDIAN_SAMPLES / 2];
         let rate = match self.throughput {
             Some(Throughput::Elements(n)) => {
                 format!(" ({:.1} Melem/s)", n as f64 / per_iter * 1e3)
