@@ -11,7 +11,7 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 use isi_columnstore::{
-    bits_for, execute_in, BitPackedVec, Column, DeltaDictionary, DeltaPart, ExecMode,
+    bits_for, execute_in, BitPackedVec, Column, DeltaDictionary, DeltaPart, Interleave,
     MainDictionary, MainPart,
 };
 
@@ -55,16 +55,16 @@ fn bench_in_predicate(c: &mut Criterion) {
     g.sample_size(10);
 
     g.bench_function("main_sequential", |b| {
-        b.iter(|| execute_in(&main_col, &values, ExecMode::Sequential))
+        b.iter(|| execute_in(&main_col, &values, Interleave::Sequential))
     });
     g.bench_function("main_interleaved_g6", |b| {
-        b.iter(|| execute_in(&main_col, &values, ExecMode::Interleaved(6)))
+        b.iter(|| execute_in(&main_col, &values, Interleave::Interleaved(6)))
     });
     g.bench_function("delta_sequential", |b| {
-        b.iter(|| execute_in(&delta_col, &values, ExecMode::Sequential))
+        b.iter(|| execute_in(&delta_col, &values, Interleave::Sequential))
     });
     g.bench_function("delta_interleaved_g6", |b| {
-        b.iter(|| execute_in(&delta_col, &values, ExecMode::Interleaved(6)))
+        b.iter(|| execute_in(&delta_col, &values, Interleave::Interleaved(6)))
     });
     g.finish();
 }

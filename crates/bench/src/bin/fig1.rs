@@ -11,7 +11,7 @@
 //! Usage: `cargo run --release -p isi-bench --bin fig1`
 
 use isi_columnstore::{
-    bits_for, execute_in, BitPackedVec, Column, ExecMode, MainDictionary, MainPart,
+    bits_for, execute_in, BitPackedVec, Column, Interleave, MainDictionary, MainPart,
 };
 use isi_core::stats::time_avg;
 
@@ -52,10 +52,10 @@ fn main() {
         let values: Vec<u32> = isi_workloads::uniform_lookups(n, cfg.lookups);
 
         let seq = time_avg(cfg.reps, || {
-            std::hint::black_box(execute_in(&column, &values, ExecMode::Sequential));
+            std::hint::black_box(execute_in(&column, &values, Interleave::Sequential));
         });
         let inter = time_avg(cfg.reps, || {
-            std::hint::black_box(execute_in(&column, &values, ExecMode::Interleaved(group)));
+            std::hint::black_box(execute_in(&column, &values, Interleave::Interleaved(group)));
         });
         println!(
             "{:>6}MB {:>14.2} {:>18.2} {:>8.2}x",

@@ -6,7 +6,7 @@
 //! (Delta trees are memory-hungry: ~2.5x the dictionary size.)
 
 use isi_columnstore::{
-    bits_for, execute_in, BitPackedVec, Column, DeltaDictionary, DeltaPart, ExecMode,
+    bits_for, execute_in, BitPackedVec, Column, DeltaDictionary, DeltaPart, Interleave,
     MainDictionary, MainPart,
 };
 use isi_core::stats::time_avg;
@@ -55,10 +55,14 @@ fn main() {
             delta: Default::default(),
         };
         let m_seq = time_avg(cfg.reps, || {
-            std::hint::black_box(execute_in(&main_col, &values, ExecMode::Sequential));
+            std::hint::black_box(execute_in(&main_col, &values, Interleave::Sequential));
         });
         let m_int = time_avg(cfg.reps, || {
-            std::hint::black_box(execute_in(&main_col, &values, ExecMode::Interleaved(group)));
+            std::hint::black_box(execute_in(
+                &main_col,
+                &values,
+                Interleave::Interleaved(group),
+            ));
         });
         drop(main_col);
 
@@ -74,13 +78,13 @@ fn main() {
             },
         };
         let d_seq = time_avg(cfg.reps, || {
-            std::hint::black_box(execute_in(&delta_col, &values, ExecMode::Sequential));
+            std::hint::black_box(execute_in(&delta_col, &values, Interleave::Sequential));
         });
         let d_int = time_avg(cfg.reps, || {
             std::hint::black_box(execute_in(
                 &delta_col,
                 &values,
-                ExecMode::Interleaved(group),
+                Interleave::Interleaved(group),
             ));
         });
         drop(delta_col);

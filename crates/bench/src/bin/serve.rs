@@ -1,0 +1,130 @@
+//! `serve` — load sweep of the sharded, admission-batched lookup
+//! service ([`isi_serve`]).
+//!
+//! Measures throughput and admission-to-response latency quantiles
+//! for {backend} × {shard count} × {batch policy} × {closed, open}
+//! load modes through concurrent client threads, and writes a
+//! machine-readable `BENCH_serve.json` (schema `isi-serve/v1`),
+//! self-verifying the document before exiting.
+//!
+//! ```text
+//! serve [--smoke] [--out PATH]        run the sweep
+//! serve --verify PATH                 validate an existing file
+//! ```
+//!
+//! Knobs (apply on top of the chosen preset): `--keys N`,
+//! `--clients N`, `--requests N` (per client), `--shards a,b,..`,
+//! `--rate RPS` (open-loop offered load), `--group N`.
+
+use isi_bench::serve::{run_sweep, to_json, verify, verify_text, ServeBenchCfg};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("serve: {msg}");
+    std::process::exit(1)
+}
+
+fn parse_usize(s: &str, flag: &str) -> usize {
+    s.parse()
+        .ok()
+        .filter(|&v: &usize| v > 0)
+        .unwrap_or_else(|| fail(&format!("bad {flag} (need integer >= 1)")))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // `--smoke` picks the base preset before the knob flags apply, so
+    // flag order does not matter.
+    let mut cfg = if args.iter().any(|a| a == "--smoke") {
+        ServeBenchCfg::smoke()
+    } else {
+        ServeBenchCfg::full()
+    };
+    let mut out_path = "BENCH_serve.json".to_string();
+    let mut verify_path: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .unwrap_or_else(|| fail(&format!("{flag} needs a value")))
+                .clone()
+        };
+        match arg.as_str() {
+            "--smoke" => {}
+            "--out" => out_path = value("--out"),
+            "--verify" => verify_path = Some(value("--verify")),
+            "--keys" => cfg.store_keys = parse_usize(&value("--keys"), "--keys"),
+            "--clients" => cfg.clients = parse_usize(&value("--clients"), "--clients"),
+            "--requests" => {
+                cfg.requests_per_client = parse_usize(&value("--requests"), "--requests")
+            }
+            "--group" => cfg.group = parse_usize(&value("--group"), "--group"),
+            "--rate" => {
+                cfg.open_rate_rps = value("--rate")
+                    .parse()
+                    .ok()
+                    .filter(|&v: &f64| v.is_finite() && v > 0.0)
+                    .unwrap_or_else(|| fail("bad --rate (need positive number)"))
+            }
+            "--shards" => {
+                let list: Vec<usize> = value("--shards")
+                    .split(',')
+                    .map(|p| {
+                        p.trim()
+                            .parse()
+                            .ok()
+                            .filter(|&v: &usize| v.is_power_of_two())
+                            .unwrap_or_else(|| {
+                                fail(&format!("bad --shards entry {p:?} (need power of two)"))
+                            })
+                    })
+                    .collect();
+                if list.is_empty() {
+                    fail("--shards must be a non-empty list");
+                }
+                cfg.shard_counts = list;
+            }
+            other => fail(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    if let Some(path) = verify_path {
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| fail(&format!("read {path}: {e}")));
+        match verify_text(&text) {
+            Ok(()) => println!("{path}: OK ({} bytes)", text.len()),
+            Err(e) => fail(&format!("{path}: INVALID: {e}")),
+        }
+        return;
+    }
+
+    println!(
+        "# serve sweep: backends={:?} shards={:?} policies={:?} keys={} clients={} reqs/client={} open-rate={}",
+        cfg.backends.iter().map(|b| b.name()).collect::<Vec<_>>(),
+        cfg.shard_counts,
+        cfg.policies,
+        cfg.store_keys,
+        cfg.clients,
+        cfg.requests_per_client,
+        cfg.open_rate_rps,
+    );
+    let cells = run_sweep(&cfg, |c| {
+        println!(
+            "{:>6} {:>6} shards={:<2} batch={:<4} wait={:<6}us {:>10.0} req/s  p50={:<9} p99={:<9} mean_batch={:.1}",
+            c.mode,
+            c.backend.name(),
+            c.shards,
+            c.policy.max_batch,
+            c.policy.max_wait_us,
+            c.throughput_rps,
+            format!("{}ns", c.p50_ns),
+            format!("{}ns", c.p99_ns),
+            c.mean_batch,
+        );
+    });
+    let doc = to_json(&cfg, &cells);
+    verify(&doc).unwrap_or_else(|e| fail(&format!("produced document failed self-check: {e}")));
+    std::fs::write(&out_path, doc.to_pretty())
+        .unwrap_or_else(|e| fail(&format!("write {out_path}: {e}")));
+    println!("wrote {out_path}");
+}

@@ -18,6 +18,7 @@
 //! | `hash_join` | §6 extension — interleaved hash-join probe |
 //! | `tlb_index` | §6 extension — B+-tree over sorted array vs TLB-thrashing binary search |
 //! | `throughput` | morsel-parallel lookup throughput sweep → `BENCH_throughput.json` ([`throughput`] module) |
+//! | `serve` | admission-batched lookup-service load sweep → `BENCH_serve.json` ([`serve`] module) |
 //!
 //! Environment knobs (all optional): `ISI_MAX_MB` (top of the size sweep,
 //! default 256), `ISI_LOOKUPS` (lookup-list length, default 10000),
@@ -26,6 +27,7 @@
 
 pub mod json;
 pub mod loc;
+pub mod serve;
 pub mod sim;
 pub mod throughput;
 pub mod wall;

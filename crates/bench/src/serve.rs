@@ -1,0 +1,536 @@
+//! The `serve` sweep: load-tests the admission-batched lookup service
+//! over {backend × shard count × batch policy × load mode} and writes
+//! a machine-readable `BENCH_serve.json` (schema `isi-serve/v1`).
+//!
+//! Two load modes per cell:
+//!
+//! * **closed** — each client thread issues its next request the
+//!   moment the previous one returns; measures the service's
+//!   saturation throughput under the policy.
+//! * **open** — each client issues on a fixed schedule (total target
+//!   rate split across clients), sleeping until the next slot when
+//!   ahead and issuing immediately when behind (paced open loop,
+//!   bounded by client concurrency); measures latency at a fixed
+//!   offered load, where the `max_wait` deadline rather than batch
+//!   fill dominates flushes.
+//!
+//! Latency quantiles come from the service's own log-bucketed
+//! [`LatencyHist`](isi_core::stats::LatencyHist) (admission →
+//! response), so the document records the queueing cost of batching,
+//! not just engine time.
+
+use std::time::{Duration, Instant};
+
+use isi_core::par::ParConfig;
+use isi_core::policy::Interleave;
+use isi_serve::{Backend, BatchPolicy, LookupService, ServeConfig, ShardedStore};
+use isi_workloads::uniform_indices;
+
+use crate::json::{self, num, obj, str, Json};
+
+/// Schema tag written into (and required from) every result document.
+pub const SCHEMA: &str = "isi-serve/v1";
+
+/// The two load modes, in sweep order.
+pub const MODES: [&str; 2] = ["closed", "open"];
+
+/// One admission-queue flush policy of the sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PolicySpec {
+    /// Flush at this many queued requests...
+    pub max_batch: usize,
+    /// ...or when the oldest has waited this many microseconds.
+    pub max_wait_us: u64,
+}
+
+impl PolicySpec {
+    fn to_batch_policy(self) -> BatchPolicy {
+        BatchPolicy {
+            max_batch: self.max_batch,
+            max_wait: Duration::from_micros(self.max_wait_us),
+        }
+    }
+}
+
+/// Sweep configuration.
+#[derive(Debug, Clone)]
+pub struct ServeBenchCfg {
+    /// Backends to sweep.
+    pub backends: Vec<Backend>,
+    /// Shard counts to sweep (powers of two).
+    pub shard_counts: Vec<usize>,
+    /// Batch policies to sweep.
+    pub policies: Vec<PolicySpec>,
+    /// Key/value pairs in the store (keys are `0, 2, 4, ...`).
+    pub store_keys: usize,
+    /// Concurrent client threads per cell.
+    pub clients: usize,
+    /// Requests each client issues per cell.
+    pub requests_per_client: usize,
+    /// Total offered arrival rate for open-loop cells (req/s).
+    pub open_rate_rps: f64,
+    /// Interleave group size for dispatched batches.
+    pub group: usize,
+    /// Per-shard admission-queue bound.
+    pub queue_cap: usize,
+}
+
+impl ServeBenchCfg {
+    /// Full sweep: a 1M-pair store, all backends, shards {1, 2, 4},
+    /// three policies from latency-biased to throughput-biased.
+    pub fn full() -> Self {
+        Self {
+            backends: Backend::ALL.to_vec(),
+            shard_counts: vec![1, 2, 4],
+            policies: vec![
+                PolicySpec {
+                    max_batch: 8,
+                    max_wait_us: 100,
+                },
+                PolicySpec {
+                    max_batch: 64,
+                    max_wait_us: 1_000,
+                },
+                PolicySpec {
+                    max_batch: 256,
+                    max_wait_us: 5_000,
+                },
+            ],
+            store_keys: 1 << 20,
+            clients: 8,
+            requests_per_client: 2_000,
+            open_rate_rps: 20_000.0,
+            group: 6,
+            queue_cap: 1024,
+        }
+    }
+
+    /// Smoke sweep for CI: tiny store and request counts — seconds,
+    /// not minutes — but the same cell grid shape as the full sweep.
+    pub fn smoke() -> Self {
+        Self {
+            backends: Backend::ALL.to_vec(),
+            shard_counts: vec![1, 2],
+            policies: vec![PolicySpec {
+                max_batch: 16,
+                max_wait_us: 200,
+            }],
+            store_keys: 1 << 12,
+            clients: 4,
+            requests_per_client: 256,
+            open_rate_rps: 50_000.0,
+            group: 6,
+            queue_cap: 256,
+        }
+    }
+}
+
+/// One measured cell of the sweep.
+#[derive(Debug, Clone)]
+pub struct ServeCell {
+    /// Load mode (one of [`MODES`]).
+    pub mode: &'static str,
+    /// Store backend.
+    pub backend: Backend,
+    /// Shard count.
+    pub shards: usize,
+    /// Batch policy used.
+    pub policy: PolicySpec,
+    /// Requests answered (clients × requests_per_client).
+    pub requests: u64,
+    /// Requests that found their key.
+    pub hits: u64,
+    /// Wall time of the whole cell, nanoseconds.
+    pub elapsed_ns: f64,
+    /// Answered requests per second.
+    pub throughput_rps: f64,
+    /// Latency quantiles (admission → response), nanoseconds.
+    pub p50_ns: u64,
+    /// 95th percentile latency.
+    pub p95_ns: u64,
+    /// 99th percentile latency.
+    pub p99_ns: u64,
+    /// Mean latency.
+    pub mean_ns: f64,
+    /// Batches dispatched.
+    pub batches: u64,
+    /// Mean requests per dispatched batch.
+    pub mean_batch: f64,
+    /// Batches flushed full vs by deadline.
+    pub full_flushes: u64,
+    /// Deadline (or drain) flushes.
+    pub timeout_flushes: u64,
+}
+
+/// Build the store for one (backend, shards) point: `store_keys`
+/// pairs with keys `0, 2, 4, ...` so half the probe space misses.
+fn build_store(backend: Backend, shards: usize, store_keys: usize) -> ShardedStore {
+    let pairs: Vec<(u64, u64)> = (0..store_keys as u64).map(|i| (i * 2, i)).collect();
+    ShardedStore::build(backend, shards, &pairs)
+}
+
+/// Deterministic per-client probe list over `[0, 2·store_keys)` —
+/// uniform mix of hits and misses, distinct stream per client.
+fn client_probes(store_keys: usize, count: usize, client: usize) -> Vec<u64> {
+    uniform_indices(store_keys * 2, count, client as u64 + 1)
+        .into_iter()
+        .map(|i| i as u64)
+        .collect()
+}
+
+/// Run one cell: spin up a fresh service, drive it with `clients`
+/// threads in the given mode, and read the service's own metrics.
+pub fn measure_cell(
+    mode: &'static str,
+    store: &std::sync::Arc<ShardedStore>,
+    policy: PolicySpec,
+    cfg: &ServeBenchCfg,
+) -> ServeCell {
+    let backend = store.backend();
+    let shards = store.num_shards();
+    let svc = LookupService::start(
+        std::sync::Arc::clone(store),
+        ServeConfig {
+            policy: Interleave::from_group(cfg.group),
+            batch: policy.to_batch_policy(),
+            queue_cap: cfg.queue_cap,
+            par: ParConfig::with_threads(1),
+        },
+    );
+    // Open-loop pacing: the total offered rate split across clients.
+    let interval = Duration::from_secs_f64(cfg.clients as f64 / cfg.open_rate_rps.max(1.0));
+    let t0 = Instant::now();
+    let hits: u64 = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.clients)
+            .map(|c| {
+                let svc = &svc;
+                let probes = client_probes(cfg.store_keys, cfg.requests_per_client, c);
+                scope.spawn(move || {
+                    let start = Instant::now();
+                    let mut hits = 0u64;
+                    for (i, &key) in probes.iter().enumerate() {
+                        if mode == "open" {
+                            let due = start + interval * i as u32;
+                            let now = Instant::now();
+                            if now < due {
+                                std::thread::sleep(due - now);
+                            }
+                        }
+                        hits += svc.get(key).is_some() as u64;
+                    }
+                    hits
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    let elapsed_ns = t0.elapsed().as_nanos() as f64;
+    let stats = svc.stats();
+    ServeCell {
+        mode,
+        backend,
+        shards,
+        policy,
+        requests: stats.requests,
+        hits,
+        elapsed_ns,
+        throughput_rps: stats.requests as f64 / (elapsed_ns * 1e-9),
+        p50_ns: stats.latency.p50(),
+        p95_ns: stats.latency.p95(),
+        p99_ns: stats.latency.p99(),
+        mean_ns: stats.latency.mean(),
+        batches: stats.batches,
+        mean_batch: stats.mean_batch(),
+        full_flushes: stats.full_flushes,
+        timeout_flushes: stats.timeout_flushes,
+    }
+}
+
+/// Run the whole sweep. `progress` receives one line per finished
+/// cell (pass `|_| {}` to silence).
+pub fn run_sweep(cfg: &ServeBenchCfg, mut progress: impl FnMut(&ServeCell)) -> Vec<ServeCell> {
+    let mut cells = Vec::new();
+    for &backend in &cfg.backends {
+        for &shards in &cfg.shard_counts {
+            // The store depends only on (backend, shards): build it
+            // once and share it across every policy x mode cell.
+            let store = std::sync::Arc::new(build_store(backend, shards, cfg.store_keys));
+            for &policy in &cfg.policies {
+                for mode in MODES {
+                    let cell = measure_cell(mode, &store, policy, cfg);
+                    progress(&cell);
+                    cells.push(cell);
+                }
+            }
+        }
+    }
+    cells
+}
+
+/// Serialize a finished sweep to the `isi-serve/v1` document.
+pub fn to_json(cfg: &ServeBenchCfg, cells: &[ServeCell]) -> Json {
+    let results: Vec<Json> = cells
+        .iter()
+        .map(|c| {
+            obj(vec![
+                ("mode", str(c.mode)),
+                ("backend", str(c.backend.name())),
+                ("shards", num(c.shards as f64)),
+                ("max_batch", num(c.policy.max_batch as f64)),
+                ("max_wait_us", num(c.policy.max_wait_us as f64)),
+                ("requests", num(c.requests as f64)),
+                ("hits", num(c.hits as f64)),
+                ("elapsed_ns", num(c.elapsed_ns.round())),
+                ("throughput_rps", num(c.throughput_rps.round())),
+                ("p50_ns", num(c.p50_ns as f64)),
+                ("p95_ns", num(c.p95_ns as f64)),
+                ("p99_ns", num(c.p99_ns as f64)),
+                ("mean_ns", num(c.mean_ns.round())),
+                ("batches", num(c.batches as f64)),
+                ("mean_batch", num((c.mean_batch * 100.0).round() / 100.0)),
+                ("full_flushes", num(c.full_flushes as f64)),
+                ("timeout_flushes", num(c.timeout_flushes as f64)),
+            ])
+        })
+        .collect();
+    obj(vec![
+        ("schema", str(SCHEMA)),
+        (
+            "machine",
+            obj(vec![
+                (
+                    "available_parallelism",
+                    num(std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(1) as f64),
+                ),
+                ("arch", str(std::env::consts::ARCH)),
+                ("os", str(std::env::consts::OS)),
+            ]),
+        ),
+        (
+            "config",
+            obj(vec![
+                (
+                    "backends",
+                    Json::Arr(cfg.backends.iter().map(|b| str(b.name())).collect()),
+                ),
+                (
+                    "shard_counts",
+                    Json::Arr(cfg.shard_counts.iter().map(|&s| num(s as f64)).collect()),
+                ),
+                (
+                    "policies",
+                    Json::Arr(
+                        cfg.policies
+                            .iter()
+                            .map(|p| {
+                                obj(vec![
+                                    ("max_batch", num(p.max_batch as f64)),
+                                    ("max_wait_us", num(p.max_wait_us as f64)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                ("modes", Json::Arr(MODES.map(str).to_vec())),
+                ("store_keys", num(cfg.store_keys as f64)),
+                ("clients", num(cfg.clients as f64)),
+                ("requests_per_client", num(cfg.requests_per_client as f64)),
+                ("open_rate_rps", num(cfg.open_rate_rps)),
+                ("group", num(cfg.group as f64)),
+                ("queue_cap", num(cfg.queue_cap as f64)),
+            ]),
+        ),
+        ("results", Json::Arr(results)),
+    ])
+}
+
+/// Validate a result document: schema tag, and exactly one cell with
+/// positive throughput, full request coverage and monotone latency
+/// quantiles for every `mode × backend × shard count × policy`
+/// combination the document's own config declares. Used by the CI
+/// smoke job and by the binary's self-check after a sweep.
+pub fn verify(doc: &Json) -> Result<(), String> {
+    if doc.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
+        return Err(format!("schema tag is not {SCHEMA:?}"));
+    }
+    let config = doc.get("config").ok_or("missing config")?;
+    let backends: Vec<&str> = config
+        .get("backends")
+        .and_then(Json::as_arr)
+        .ok_or("missing config.backends")?
+        .iter()
+        .filter_map(Json::as_str)
+        .collect();
+    for b in &backends {
+        if Backend::from_name(b).is_none() {
+            return Err(format!("unknown backend {b:?} in config"));
+        }
+    }
+    let shard_counts: Vec<usize> = config
+        .get("shard_counts")
+        .and_then(Json::as_arr)
+        .ok_or("missing config.shard_counts")?
+        .iter()
+        .map(|v| v.as_usize().ok_or("non-integer shard count"))
+        .collect::<Result<_, _>>()?;
+    let policies: Vec<(usize, usize)> = config
+        .get("policies")
+        .and_then(Json::as_arr)
+        .ok_or("missing config.policies")?
+        .iter()
+        .map(|p| {
+            Ok((
+                p.get("max_batch")
+                    .and_then(Json::as_usize)
+                    .ok_or("policy missing max_batch")?,
+                p.get("max_wait_us")
+                    .and_then(Json::as_usize)
+                    .ok_or("policy missing max_wait_us")?,
+            ))
+        })
+        .collect::<Result<_, String>>()?;
+    let modes: Vec<&str> = config
+        .get("modes")
+        .and_then(Json::as_arr)
+        .ok_or("missing config.modes")?
+        .iter()
+        .filter_map(Json::as_str)
+        .collect();
+    if backends.is_empty() || shard_counts.is_empty() || policies.is_empty() || modes.is_empty() {
+        return Err("empty sweep axes".into());
+    }
+    for required in MODES {
+        if !modes.contains(&required) {
+            return Err(format!("mode {required:?} missing from sweep"));
+        }
+    }
+    let expected_requests = config
+        .get("clients")
+        .and_then(Json::as_usize)
+        .ok_or("missing config.clients")?
+        * config
+            .get("requests_per_client")
+            .and_then(Json::as_usize)
+            .ok_or("missing config.requests_per_client")?;
+    let results = doc
+        .get("results")
+        .and_then(Json::as_arr)
+        .ok_or("missing results")?;
+    for &m in &modes {
+        for &b in &backends {
+            for &s in &shard_counts {
+                for &(batch, wait) in &policies {
+                    let matching: Vec<&Json> = results
+                        .iter()
+                        .filter(|c| {
+                            c.get("mode").and_then(Json::as_str) == Some(m)
+                                && c.get("backend").and_then(Json::as_str) == Some(b)
+                                && c.get("shards").and_then(Json::as_usize) == Some(s)
+                                && c.get("max_batch").and_then(Json::as_usize) == Some(batch)
+                                && c.get("max_wait_us").and_then(Json::as_usize) == Some(wait)
+                        })
+                        .collect();
+                    let cell_name = format!("{m}/{b}/shards={s}/batch={batch}/wait={wait}us");
+                    if matching.len() != 1 {
+                        return Err(format!(
+                            "expected exactly 1 cell for {cell_name}, found {}",
+                            matching.len()
+                        ));
+                    }
+                    let cell = matching[0];
+                    let rate = cell
+                        .get("throughput_rps")
+                        .and_then(Json::as_f64)
+                        .unwrap_or(0.0);
+                    if !(rate.is_finite() && rate > 0.0) {
+                        return Err(format!("non-positive throughput for {cell_name}"));
+                    }
+                    if cell.get("requests").and_then(Json::as_usize) != Some(expected_requests) {
+                        return Err(format!(
+                            "cell {cell_name} did not answer all {expected_requests} requests"
+                        ));
+                    }
+                    let q = |key: &str| cell.get(key).and_then(Json::as_f64).unwrap_or(-1.0);
+                    let (p50, p95, p99) = (q("p50_ns"), q("p95_ns"), q("p99_ns"));
+                    if !(0.0 <= p50 && p50 <= p95 && p95 <= p99) {
+                        return Err(format!(
+                            "non-monotone latency quantiles for {cell_name}: \
+                             p50={p50} p95={p95} p99={p99}"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Parse and validate a result file's contents.
+pub fn verify_text(text: &str) -> Result<(), String> {
+    verify(&json::parse(text).map_err(|e| format!("JSON parse error: {e}"))?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> ServeBenchCfg {
+        ServeBenchCfg {
+            backends: Backend::ALL.to_vec(),
+            shard_counts: vec![1, 2],
+            policies: vec![PolicySpec {
+                max_batch: 8,
+                max_wait_us: 100,
+            }],
+            store_keys: 512,
+            clients: 2,
+            requests_per_client: 64,
+            open_rate_rps: 100_000.0,
+            group: 4,
+            queue_cap: 64,
+        }
+    }
+
+    #[test]
+    fn sweep_produces_a_cell_per_combination_and_verifies() {
+        let cfg = tiny_cfg();
+        let cells = run_sweep(&cfg, |_| {});
+        assert_eq!(cells.len(), 3 * 2 * MODES.len());
+        assert!(cells.iter().all(|c| c.requests == 128));
+        let doc = to_json(&cfg, &cells);
+        verify(&doc).expect("self-produced document must verify");
+        verify_text(&doc.to_pretty()).expect("round-trip verify");
+    }
+
+    #[test]
+    fn verify_rejects_tampered_documents() {
+        let cfg = tiny_cfg();
+        let cells = run_sweep(&cfg, |_| {});
+        let doc = to_json(&cfg, &cells);
+
+        // Drop one result cell.
+        let mut truncated = doc.clone();
+        if let Json::Obj(pairs) = &mut truncated {
+            for (k, v) in pairs.iter_mut() {
+                if k == "results" {
+                    if let Json::Arr(items) = v {
+                        items.pop();
+                    }
+                }
+            }
+        }
+        assert!(verify(&truncated).is_err());
+
+        // Wrong schema tag.
+        let mut wrong = doc;
+        if let Json::Obj(pairs) = &mut wrong {
+            pairs[0].1 = str("other/v0");
+        }
+        assert!(verify(&wrong).is_err());
+
+        // Not even JSON.
+        assert!(verify_text("{nope").is_err());
+    }
+}

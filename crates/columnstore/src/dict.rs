@@ -14,6 +14,7 @@
 
 use isi_core::coro::suspend;
 use isi_core::mem::{DirectMem, IndexedMem};
+use isi_core::policy::Interleave;
 use isi_core::sched::{run_interleaved, run_sequential};
 use isi_csb::{CsbTree, TreeStore};
 use isi_search::key::SearchKey;
@@ -21,6 +22,11 @@ use isi_search::locate::NOT_FOUND;
 use isi_search::{bulk_rank_amac, bulk_rank_coro, bulk_rank_coro_seq, bulk_rank_gp, cost};
 
 /// How a bulk `locate` executes (paper §5.1's five implementations).
+///
+/// The coroutine variant carries the shared [`Interleave`] policy
+/// instead of private sequential/group-size variants, so callers that
+/// already hold an execution policy (the IN-predicate query, the
+/// serving layer) pass it through unchanged.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LocateStrategy {
     /// Branchy sequential search (`std`).
@@ -31,10 +37,8 @@ pub enum LocateStrategy {
     Gp(usize),
     /// AMAC with this group size.
     Amac(usize),
-    /// The coroutine, run sequentially (`INTERLEAVE = false`).
-    CoroSequential,
-    /// The coroutine, interleaved with this group size.
-    Coro(usize),
+    /// The coroutine, sequential or interleaved per the shared policy.
+    Coro(Interleave),
 }
 
 /// Read-optimized dictionary: sorted distinct values; code = position.
@@ -105,10 +109,10 @@ impl<K: SearchKey> MainDictionary<K> {
             }
             LocateStrategy::Gp(g) => bulk_rank_gp(&mem, lookups, g, out),
             LocateStrategy::Amac(g) => bulk_rank_amac(&mem, lookups, g, out),
-            LocateStrategy::CoroSequential => {
+            LocateStrategy::Coro(Interleave::Sequential) => {
                 bulk_rank_coro_seq(mem, lookups, out);
             }
-            LocateStrategy::Coro(g) => {
+            LocateStrategy::Coro(Interleave::Interleaved(g)) => {
                 bulk_rank_coro(mem, lookups, g, out);
             }
         }
@@ -392,8 +396,8 @@ mod tests {
             LocateStrategy::BranchFree,
             LocateStrategy::Gp(10),
             LocateStrategy::Amac(6),
-            LocateStrategy::CoroSequential,
-            LocateStrategy::Coro(6),
+            LocateStrategy::Coro(Interleave::Sequential),
+            LocateStrategy::Coro(Interleave::Interleaved(6)),
         ] {
             let mut out = vec![0u32; lookups.len()];
             d.bulk_locate(&lookups, strat, &mut out);
@@ -405,7 +409,11 @@ mod tests {
     fn main_bulk_locate_on_empty_dict() {
         let d = MainDictionary::<u32>::from_sorted(vec![]);
         let mut out = vec![0u32; 2];
-        d.bulk_locate(&[1, 2], LocateStrategy::Coro(4), &mut out);
+        d.bulk_locate(
+            &[1, 2],
+            LocateStrategy::Coro(Interleave::Interleaved(4)),
+            &mut out,
+        );
         assert_eq!(out, [NOT_FOUND, NOT_FOUND]);
     }
 

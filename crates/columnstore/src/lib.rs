@@ -17,11 +17,11 @@
 //! implements the delta-merge lifecycle.
 //!
 //! ```
-//! use isi_columnstore::{Column, ExecMode, execute_in};
+//! use isi_columnstore::{Column, Interleave, execute_in};
 //!
 //! let mut col = Column::from_rows(&[30u32, 10, 20, 10]);
 //! col.append(40); // goes to the delta part
-//! let (rows, stats) = execute_in(&col, &[10, 40], ExecMode::Interleaved(6));
+//! let (rows, stats) = execute_in(&col, &[10, 40], Interleave::Interleaved(6));
 //! assert_eq!(rows, vec![1, 3, 4]);
 //! assert_eq!(stats.main_matches, 1);
 //! assert_eq!(stats.delta_matches, 1);
@@ -36,5 +36,6 @@ pub mod table;
 pub use codevec::{bits_for, BitPackedVec, Bitset};
 pub use column::{Column, DeltaPart, MainPart};
 pub use dict::{delta_locate_coro, DeltaDictionary, LocateStrategy, MainDictionary};
-pub use query::{execute_in, execute_in_naive, ExecMode, InQueryStats};
+pub use isi_core::Interleave;
+pub use query::{execute_in, execute_in_naive, InQueryStats};
 pub use table::Table;

@@ -7,26 +7,19 @@
 //! 1. **Encode** the predicate values: a bulk `locate` against the Main
 //!    dictionary (binary search) and the Delta dictionary (CSB+-tree) —
 //!    the index join `S ⋈ D` whose memory stalls the paper hides with
-//!    interleaving. This phase is where [`ExecMode`] chooses sequential
-//!    or interleaved execution.
+//!    interleaving. This phase is where the shared
+//!    [`Interleave`] policy chooses sequential or interleaved
+//!    execution.
 //! 2. **Scan** the code vectors with a membership bitmap over the
 //!    matched codes, emitting qualifying row ids.
 
+use isi_core::policy::Interleave;
 use isi_search::key::SearchKey;
 use isi_search::locate::NOT_FOUND;
 
 use crate::codevec::Bitset;
 use crate::column::Column;
 use crate::dict::LocateStrategy;
-
-/// Execution policy for the encode phase of an IN-predicate query.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ExecMode {
-    /// Sequential lookups (coroutines with `INTERLEAVE = false`).
-    Sequential,
-    /// Interleaved lookups with this group size.
-    Interleaved(usize),
-}
 
 /// Statistics of one IN-predicate execution (for harness output).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -44,27 +37,23 @@ pub struct InQueryStats {
 pub fn execute_in<K: SearchKey + Default>(
     column: &Column<K>,
     values: &[K],
-    mode: ExecMode,
+    mode: Interleave,
 ) -> (Vec<u64>, InQueryStats) {
     let mut stats = InQueryStats::default();
     let mut rows = Vec::new();
 
     // Phase 1a: encode against the Main dictionary.
     let mut main_codes = vec![0u32; values.len()];
-    let strategy = match mode {
-        ExecMode::Sequential => LocateStrategy::CoroSequential,
-        ExecMode::Interleaved(g) => LocateStrategy::Coro(g),
-    };
     column
         .main
         .dict
-        .bulk_locate(values, strategy, &mut main_codes);
+        .bulk_locate(values, LocateStrategy::Coro(mode), &mut main_codes);
 
     // Phase 1b: encode against the Delta dictionary.
     let mut delta_codes = vec![0u32; values.len()];
     match mode {
-        ExecMode::Sequential => column.delta.dict.bulk_locate_seq(values, &mut delta_codes),
-        ExecMode::Interleaved(g) => {
+        Interleave::Sequential => column.delta.dict.bulk_locate_seq(values, &mut delta_codes),
+        Interleave::Interleaved(g) => {
             column
                 .delta
                 .dict
@@ -129,11 +118,11 @@ mod tests {
         let c = sample_column();
         let values: Vec<u32> = (0..300).map(|i| i * 7).collect();
         let expect = execute_in_naive(&c, &values);
-        let (seq, seq_stats) = execute_in(&c, &values, ExecMode::Sequential);
+        let (seq, seq_stats) = execute_in(&c, &values, Interleave::Sequential);
         assert_eq!(seq, expect);
         assert_eq!(seq_stats.rows, expect.len());
         for group in [1, 6, 16] {
-            let (inter, stats) = execute_in(&c, &values, ExecMode::Interleaved(group));
+            let (inter, stats) = execute_in(&c, &values, Interleave::Interleaved(group));
             assert_eq!(inter, expect, "group={group}");
             assert_eq!(stats, seq_stats);
         }
@@ -143,7 +132,7 @@ mod tests {
     fn no_matches_yields_empty() {
         let c = sample_column();
         let values = vec![100_000u32, 200_000];
-        let (rows, stats) = execute_in(&c, &values, ExecMode::Interleaved(6));
+        let (rows, stats) = execute_in(&c, &values, Interleave::Interleaved(6));
         assert!(rows.is_empty());
         assert_eq!(stats.main_matches + stats.delta_matches, 0);
     }
@@ -151,7 +140,7 @@ mod tests {
     #[test]
     fn empty_predicate_list() {
         let c = sample_column();
-        let (rows, stats) = execute_in(&c, &[], ExecMode::Interleaved(6));
+        let (rows, stats) = execute_in(&c, &[], Interleave::Interleaved(6));
         assert!(rows.is_empty());
         assert_eq!(stats.rows, 0);
     }
@@ -159,7 +148,7 @@ mod tests {
     #[test]
     fn duplicate_predicate_values_count_once() {
         let c = Column::from_rows(&[5u32, 6, 5, 7]);
-        let (rows, stats) = execute_in(&c, &[5, 5, 5], ExecMode::Sequential);
+        let (rows, stats) = execute_in(&c, &[5, 5, 5], Interleave::Sequential);
         assert_eq!(rows, vec![0, 2]);
         assert_eq!(stats.main_matches, 1);
     }
@@ -170,7 +159,7 @@ mod tests {
         for v in [4u32, 8, 15, 16, 23, 42] {
             c.append(v);
         }
-        let (rows, stats) = execute_in(&c, &[8, 42, 99], ExecMode::Interleaved(4));
+        let (rows, stats) = execute_in(&c, &[8, 42, 99], Interleave::Interleaved(4));
         assert_eq!(rows, vec![1, 5]);
         assert_eq!(stats.delta_matches, 2);
         assert_eq!(stats.main_matches, 0);
@@ -180,9 +169,9 @@ mod tests {
     fn results_stable_across_merge() {
         let mut c = sample_column();
         let values: Vec<u32> = (0..200).map(|i| i * 11).collect();
-        let before = execute_in(&c, &values, ExecMode::Interleaved(6)).0;
+        let before = execute_in(&c, &values, Interleave::Interleaved(6)).0;
         c.merge_delta();
-        let after = execute_in(&c, &values, ExecMode::Interleaved(6)).0;
+        let after = execute_in(&c, &values, Interleave::Interleaved(6)).0;
         assert_eq!(before, after, "row ids preserved across delta merge");
     }
 
@@ -194,7 +183,7 @@ mod tests {
         c.append(Str16::from_index(500));
         let values = vec![Str16::from_index(5), Str16::from_index(500)];
         let expect = execute_in_naive(&c, &values);
-        let (got, _) = execute_in(&c, &values, ExecMode::Interleaved(6));
+        let (got, _) = execute_in(&c, &values, Interleave::Interleaved(6));
         assert_eq!(got, expect);
         assert!(got.contains(&1000u64), "delta row matched");
     }

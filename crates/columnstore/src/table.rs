@@ -5,7 +5,8 @@
 use isi_search::key::SearchKey;
 
 use crate::column::Column;
-use crate::query::{execute_in, ExecMode, InQueryStats};
+use crate::query::{execute_in, InQueryStats};
+use isi_core::policy::Interleave;
 
 /// A table of identically-typed columns (INTEGER columns in the paper's
 /// experiments; the type is generic).
@@ -76,7 +77,12 @@ impl<K: SearchKey + Default> Table<K> {
     }
 
     /// `SELECT row_ids WHERE name IN (values)`.
-    pub fn select_in(&self, name: &str, values: &[K], mode: ExecMode) -> (Vec<u64>, InQueryStats) {
+    pub fn select_in(
+        &self,
+        name: &str,
+        values: &[K],
+        mode: Interleave,
+    ) -> (Vec<u64>, InQueryStats) {
         execute_in(self.column(name), values, mode)
     }
 
@@ -102,7 +108,7 @@ mod tests {
         assert_eq!(t.width(), 2);
         assert_eq!(t.row(3), vec![10_003, 3]);
 
-        let (rows, stats) = t.select_in("zip", &[10_003, 10_007], ExecMode::Interleaved(6));
+        let (rows, stats) = t.select_in("zip", &[10_003, 10_007], Interleave::Interleaved(6));
         assert_eq!(rows.len(), 20);
         assert_eq!(stats.rows, 20);
         for r in rows {
@@ -117,9 +123,9 @@ mod tests {
         for i in 0..500u32 {
             t.insert(&[i % 37]);
         }
-        let before = t.select_in("a", &[5, 11, 36], ExecMode::Sequential).0;
+        let before = t.select_in("a", &[5, 11, 36], Interleave::Sequential).0;
         t.merge_all_deltas();
-        let after = t.select_in("a", &[5, 11, 36], ExecMode::Sequential).0;
+        let after = t.select_in("a", &[5, 11, 36], Interleave::Sequential).0;
         assert_eq!(before, after);
     }
 

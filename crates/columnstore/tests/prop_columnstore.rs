@@ -5,7 +5,7 @@
 
 use proptest::prelude::*;
 
-use isi_columnstore::{execute_in, execute_in_naive, BitPackedVec, Column, ExecMode};
+use isi_columnstore::{execute_in, execute_in_naive, BitPackedVec, Column, Interleave};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
@@ -36,9 +36,9 @@ proptest! {
             c.append(*v);
         }
         let expect = execute_in_naive(&c, &values);
-        let (seq, _) = execute_in(&c, &values, ExecMode::Sequential);
+        let (seq, _) = execute_in(&c, &values, Interleave::Sequential);
         prop_assert_eq!(&seq, &expect);
-        let (inter, _) = execute_in(&c, &values, ExecMode::Interleaved(group));
+        let (inter, _) = execute_in(&c, &values, Interleave::Interleaved(group));
         prop_assert_eq!(&inter, &expect);
     }
 
@@ -53,10 +53,10 @@ proptest! {
             c.append(*v);
         }
         let rows_before: Vec<u32> = (0..c.rows()).map(|i| c.get(i)).collect();
-        let q_before = execute_in(&c, &values, ExecMode::Interleaved(6)).0;
+        let q_before = execute_in(&c, &values, Interleave::Interleaved(6)).0;
         c.merge_delta();
         let rows_after: Vec<u32> = (0..c.rows()).map(|i| c.get(i)).collect();
-        let q_after = execute_in(&c, &values, ExecMode::Interleaved(6)).0;
+        let q_after = execute_in(&c, &values, Interleave::Interleaved(6)).0;
         prop_assert_eq!(&rows_before, &rows_after);
         prop_assert_eq!(q_before, q_after);
         prop_assert_eq!(c.delta.rows(), 0);

@@ -36,8 +36,11 @@
 //! * [`model`] — the analytic interleaving model of Section 3
 //!   (Inequality 1): estimating the optimal group size from per-stream
 //!   compute, switch and stall cycles.
-//! * [`stats`] — lightweight counters (resumes, prefetches, switches)
-//!   reported by the schedulers.
+//! * [`policy`] — the shared [`Interleave`](policy::Interleave)
+//!   execution-policy type (sequential vs interleaved-with-group-size)
+//!   used by every operator in the workspace.
+//! * [`stats`] — cycle/wall measurement helpers and the log-bucketed
+//!   [`LatencyHist`](stats::LatencyHist) used by the serving layer.
 //!
 //! ## Quick start
 //!
@@ -95,6 +98,7 @@ pub mod coro;
 pub mod mem;
 pub mod model;
 pub mod par;
+pub mod policy;
 pub mod prefetch;
 pub mod sched;
 pub mod stats;
@@ -103,7 +107,9 @@ pub use coro::{suspend, CoroHandle, Suspend};
 pub use mem::{DirectMem, IndexedMem};
 pub use model::{optimal_group_size, StreamParams};
 pub use par::{run_interleaved_par, DisjointOut, MorselCursor, ParConfig};
+pub use policy::Interleave;
 pub use sched::{
     run_interleaved, run_interleaved_boxed, run_interleaved_indexed, run_sequential, FrameSlab,
     RunStats,
 };
+pub use stats::LatencyHist;

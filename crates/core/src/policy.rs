@@ -1,0 +1,102 @@
+//! The shared interleaving policy type.
+//!
+//! Every operator in the workspace offers the same execution choice —
+//! run its lookup coroutines one at a time, or interleave a group of
+//! them to hide cache-miss latency. [`Interleave`] is that choice,
+//! expressed once: the hash join, the IN-predicate query, the
+//! dictionary `locate` strategies and the serving layer all take it
+//! instead of growing their own structurally identical enums.
+
+/// Execution policy for a batch of lookup coroutines: sequential, or
+/// interleaved with a given group size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Interleave {
+    /// One lookup at a time (coroutines with `INTERLEAVE = false`).
+    Sequential,
+    /// This many lookups in flight, switching at every probable miss.
+    Interleaved(usize),
+}
+
+impl Interleave {
+    /// The group size, or `None` when sequential.
+    #[inline]
+    pub fn group(self) -> Option<usize> {
+        match self {
+            Interleave::Sequential => None,
+            Interleave::Interleaved(g) => Some(g),
+        }
+    }
+
+    /// The group size as a scheduler knob: 1 when sequential (a group
+    /// of one *is* sequential execution), never 0.
+    #[inline]
+    pub fn group_or_one(self) -> usize {
+        self.group().unwrap_or(1).max(1)
+    }
+
+    /// True if this policy interleaves (group size > 1).
+    #[inline]
+    pub fn is_interleaved(self) -> bool {
+        matches!(self, Interleave::Interleaved(g) if g > 1)
+    }
+
+    /// Policy from a group size: 0 or 1 means sequential.
+    #[inline]
+    pub fn from_group(group: usize) -> Self {
+        if group <= 1 {
+            Interleave::Sequential
+        } else {
+            Interleave::Interleaved(group)
+        }
+    }
+}
+
+impl Default for Interleave {
+    /// The paper's best coroutine group size (6) as a sensible default.
+    fn default() -> Self {
+        Interleave::Interleaved(6)
+    }
+}
+
+impl std::fmt::Display for Interleave {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Interleave::Sequential => write!(f, "seq"),
+            Interleave::Interleaved(g) => write!(f, "coro{g}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_accessors() {
+        assert_eq!(Interleave::Sequential.group(), None);
+        assert_eq!(Interleave::Interleaved(6).group(), Some(6));
+        assert_eq!(Interleave::Sequential.group_or_one(), 1);
+        assert_eq!(Interleave::Interleaved(0).group_or_one(), 1);
+        assert_eq!(Interleave::Interleaved(8).group_or_one(), 8);
+    }
+
+    #[test]
+    fn from_group_normalizes_degenerate_sizes() {
+        assert_eq!(Interleave::from_group(0), Interleave::Sequential);
+        assert_eq!(Interleave::from_group(1), Interleave::Sequential);
+        assert_eq!(Interleave::from_group(6), Interleave::Interleaved(6));
+    }
+
+    #[test]
+    fn interleaved_predicate() {
+        assert!(!Interleave::Sequential.is_interleaved());
+        assert!(!Interleave::Interleaved(1).is_interleaved());
+        assert!(Interleave::Interleaved(2).is_interleaved());
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(Interleave::Sequential.to_string(), "seq");
+        assert_eq!(Interleave::Interleaved(6).to_string(), "coro6");
+    }
+}

@@ -26,7 +26,8 @@ pub mod store;
 pub mod tree;
 
 pub use lookup::{
-    bulk_lookup_amac, bulk_lookup_interleaved, bulk_lookup_seq, lookup_coro, lookup_seq,
+    bulk_lookup_amac, bulk_lookup_interleaved, bulk_lookup_par, bulk_lookup_seq, lookup_coro,
+    lookup_seq,
 };
 pub use node::{InnerNode, LeafNode, NODE_CAP};
 pub use store::{DirectTreeStore, SimTreeStore, TreeStore};

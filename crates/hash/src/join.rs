@@ -4,19 +4,11 @@
 //! ... are straightforward candidates for our technique").
 
 use isi_core::coro::suspend;
+use isi_core::policy::Interleave;
 use isi_core::prefetch::prefetch_read_nta;
 use isi_core::sched::run_interleaved;
 
 use crate::table::{ChainedHashTable, Entry, HashKey, NONE};
-
-/// Probe-phase execution policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum JoinMode {
-    /// One probe at a time.
-    Sequential,
-    /// Interleave this many probe coroutines.
-    Interleaved(usize),
-}
 
 /// Equi-join `build ⋈ probe` on the tuples' keys. Returns
 /// `(key, build_payload, probe_payload)` for every matching pair, in
@@ -24,7 +16,7 @@ pub enum JoinMode {
 pub fn hash_join<K: HashKey, B: Copy, P: Copy>(
     build: &[(K, B)],
     probe: &[(K, P)],
-    mode: JoinMode,
+    mode: Interleave,
 ) -> Vec<(K, B, P)> {
     let mut table = ChainedHashTable::with_capacity(build.len());
     for (k, b) in build {
@@ -33,14 +25,14 @@ pub fn hash_join<K: HashKey, B: Copy, P: Copy>(
 
     let mut out: Vec<(K, B, P)> = Vec::new();
     match mode {
-        JoinMode::Sequential => {
+        Interleave::Sequential => {
             for (k, p) in probe {
                 for b in table.get_all(k) {
                     out.push((*k, b, *p));
                 }
             }
         }
-        JoinMode::Interleaved(group) => {
+        Interleave::Interleaved(group) => {
             // The multi-match probe coroutine returns its matches; the
             // scheduler sink stitches them into output order.
             let mut per_probe: Vec<Vec<B>> = vec![Vec::new(); probe.len()];
@@ -115,10 +107,10 @@ mod tests {
             .map(|i| (i, if i % 2 == 0 { 'x' } else { 'y' }))
             .collect();
         let expect = nested_loop_join(&build, &probe);
-        let seq = hash_join(&build, &probe, JoinMode::Sequential);
+        let seq = hash_join(&build, &probe, Interleave::Sequential);
         assert_eq!(seq, expect);
         for group in [1, 6, 16] {
-            let inter = hash_join(&build, &probe, JoinMode::Interleaved(group));
+            let inter = hash_join(&build, &probe, Interleave::Interleaved(group));
             assert_eq!(inter, expect, "group={group}");
         }
     }
@@ -127,16 +119,16 @@ mod tests {
     fn join_with_no_matches() {
         let build: Vec<(u32, u32)> = vec![(1, 10), (2, 20)];
         let probe: Vec<(u32, u32)> = vec![(3, 30), (4, 40)];
-        assert!(hash_join(&build, &probe, JoinMode::Sequential).is_empty());
-        assert!(hash_join(&build, &probe, JoinMode::Interleaved(4)).is_empty());
+        assert!(hash_join(&build, &probe, Interleave::Sequential).is_empty());
+        assert!(hash_join(&build, &probe, Interleave::Interleaved(4)).is_empty());
     }
 
     #[test]
     fn join_with_empty_inputs() {
         let empty: Vec<(u32, u32)> = vec![];
         let some: Vec<(u32, u32)> = vec![(1, 1)];
-        assert!(hash_join(&empty, &some, JoinMode::Interleaved(4)).is_empty());
-        assert!(hash_join(&some, &empty, JoinMode::Interleaved(4)).is_empty());
+        assert!(hash_join(&empty, &some, Interleave::Interleaved(4)).is_empty());
+        assert!(hash_join(&some, &empty, Interleave::Interleaved(4)).is_empty());
     }
 
     #[test]
@@ -144,7 +136,7 @@ mod tests {
         // 3 build tuples and 2 probe tuples share key 7: 6 output pairs.
         let build = vec![(7u32, 1u32), (7, 2), (7, 3), (8, 9)];
         let probe = vec![(7u32, 'a'), (7, 'b'), (9, 'c')];
-        let out = hash_join(&build, &probe, JoinMode::Interleaved(2));
+        let out = hash_join(&build, &probe, Interleave::Interleaved(2));
         assert_eq!(out.len(), 6);
         let keys: Vec<u32> = out.iter().map(|(k, _, _)| *k).collect();
         assert!(keys.iter().all(|&k| k == 7));

@@ -13,11 +13,12 @@
 //! interleaving exists for.
 //!
 //! ```
-//! use isi_hash::{hash_join, JoinMode};
+//! use isi_core::Interleave;
+//! use isi_hash::hash_join;
 //!
 //! let orders = [(1u32, "ord-a"), (2, "ord-b"), (1, "ord-c")];
 //! let users = [(1u32, "alice"), (2, "bob"), (3, "carol")];
-//! let pairs = hash_join(&orders, &users, JoinMode::Interleaved(6));
+//! let pairs = hash_join(&orders, &users, Interleave::Interleaved(6));
 //! assert_eq!(pairs.len(), 3); // user 1 matches twice, user 2 once
 //! ```
 
@@ -27,8 +28,10 @@ pub mod probe;
 pub mod table;
 
 pub use build::{build_gp, build_seq};
-pub use join::{hash_join, nested_loop_join, JoinMode};
+pub use isi_core::Interleave;
+pub use join::{hash_join, nested_loop_join};
 pub use probe::{
-    bulk_probe_amac, bulk_probe_interleaved, bulk_probe_seq, probe_coro, probe_coro_on,
+    bulk_probe_amac, bulk_probe_interleaved, bulk_probe_par, bulk_probe_seq, probe_coro,
+    probe_coro_on,
 };
 pub use table::{ChainedHashTable, HashKey};

@@ -1,0 +1,46 @@
+//! # isi-serve — a sharded, admission-batched lookup service
+//!
+//! The paper shows that interleaving instruction streams hides the
+//! cache-miss latency of index lookups — but only when lookups arrive
+//! in *batches*. A serving workload delivers the opposite shape: many
+//! concurrent clients, each holding exactly one key. This crate closes
+//! the gap with the production pattern the batch-only APIs were
+//! missing:
+//!
+//! 1. **Shard** — a [`ShardedStore`](store::ShardedStore)
+//!    hash-partitions the data across power-of-two shards, each an
+//!    independent index (sorted column, CSB+-tree, or chained hash
+//!    table) servable by the existing bulk interleaved drivers.
+//! 2. **Admit & batch** — a [`LookupService`](service::LookupService)
+//!    runs one dispatcher per shard; client `get` calls enqueue a key
+//!    into the owning shard's bounded admission queue (blocking when
+//!    full — backpressure) and wait on a ticket.
+//! 3. **Dispatch** — the dispatcher flushes a batch when `max_batch`
+//!    requests are queued or the oldest has waited `max_wait`
+//!    ([`BatchPolicy`](service::BatchPolicy)), drives it through the
+//!    morsel-parallel interleaved engine ([`isi_core::par`]), and
+//!    routes each result back through its ticket.
+//! 4. **Measure** — per-request latency (admission → response) lands
+//!    in a log-bucketed [`LatencyHist`](isi_core::stats::LatencyHist),
+//!    so the batching-vs-latency trade-off the policy dials is
+//!    observable (p50/p95/p99).
+//!
+//! ```
+//! use isi_serve::{Backend, LookupService, ServeConfig, ShardedStore};
+//!
+//! let pairs: Vec<(u64, u64)> = (0..10_000).map(|i| (i * 2, i)).collect();
+//! let store = ShardedStore::build(Backend::Csb, 4, &pairs);
+//! let svc = LookupService::start(store, ServeConfig::default());
+//!
+//! // Any number of client threads may call `get` concurrently; each
+//! // request rides an interleaved batch.
+//! assert_eq!(svc.get(84), Some(42));
+//! assert_eq!(svc.get(85), None);
+//! assert_eq!(svc.stats().requests, 2);
+//! ```
+
+pub mod service;
+pub mod store;
+
+pub use service::{BatchPolicy, LookupService, ServeConfig, ServeStats};
+pub use store::{Backend, ShardedStore};

@@ -1,0 +1,535 @@
+//! [`LookupService`]: the request lifecycle — admission, batching,
+//! dispatch, response routing, metrics.
+//!
+//! The paper's interleaving only pays off when lookups arrive in
+//! batches large enough to keep a miss in flight per stream; a serving
+//! workload instead delivers many small concurrent requests. This
+//! module closes that gap with **admission batching**: each shard owns
+//! a bounded queue; client threads enqueue one key and block on a
+//! ticket; a per-shard dispatcher thread coalesces queued requests and
+//! flushes a batch when either `max_batch` requests are waiting or the
+//! oldest has waited `max_wait` — whichever comes first — then drives
+//! the whole batch through the morsel-parallel interleaved engine and
+//! routes results back through the tickets.
+//!
+//! The flush policy is the latency/throughput dial: large `max_batch`
+//! with generous `max_wait` amortizes interleaving best (high
+//! throughput, queueing latency); tiny `max_wait` bounds tail latency
+//! but dispatches ragged batches the engine can't fill its group with.
+//! Per-request latency (enqueue → response) is recorded into a
+//! log-bucketed [`LatencyHist`] so that trade-off is observable.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use isi_core::par::ParConfig;
+use isi_core::policy::Interleave;
+use isi_core::sched::RunStats;
+use isi_core::stats::LatencyHist;
+
+use crate::store::ShardedStore;
+
+/// When a shard's dispatcher flushes its admission queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Flush as soon as this many requests are queued.
+    pub max_batch: usize,
+    /// Flush when the oldest queued request has waited this long.
+    pub max_wait: Duration,
+}
+
+impl Default for BatchPolicy {
+    /// 64-request batches, 1 ms ceiling on queueing delay.
+    fn default() -> Self {
+        Self {
+            max_batch: 64,
+            max_wait: Duration::from_millis(1),
+        }
+    }
+}
+
+/// Service configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Interleave policy for dispatched batches.
+    pub policy: Interleave,
+    /// Flush policy for each shard's admission queue.
+    pub batch: BatchPolicy,
+    /// Per-shard admission-queue bound; `get` blocks when the owning
+    /// shard's queue is full (backpressure).
+    pub queue_cap: usize,
+    /// Morsel-engine configuration for each dispatched batch. The
+    /// default is one worker per dispatch (the dispatcher thread
+    /// itself); raise `threads` only when shards outnumber cores.
+    pub par: ParConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            policy: Interleave::default(),
+            batch: BatchPolicy::default(),
+            queue_cap: 1024,
+            par: ParConfig::with_threads(1),
+        }
+    }
+}
+
+/// One queued request: the key, its admission time, and the ticket the
+/// caller is blocked on.
+struct Request {
+    key: u64,
+    enqueued: Instant,
+    ticket: Arc<Ticket>,
+}
+
+/// A one-shot response slot; the caller blocks on `wait`, the
+/// dispatcher fills it with `fulfill`.
+struct Ticket {
+    slot: Mutex<Option<Option<u64>>>,
+    ready: Condvar,
+}
+
+impl Ticket {
+    fn new() -> Self {
+        Self {
+            slot: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn fulfill(&self, result: Option<u64>) {
+        *self.slot.lock().unwrap() = Some(result);
+        self.ready.notify_one();
+    }
+
+    fn wait(&self) -> Option<u64> {
+        let mut slot = self.slot.lock().unwrap();
+        loop {
+            if let Some(result) = *slot {
+                return result;
+            }
+            slot = self.ready.wait(slot).unwrap();
+        }
+    }
+}
+
+/// Mutable queue state behind each shard's mutex.
+struct QueueState {
+    reqs: VecDeque<Request>,
+    open: bool,
+}
+
+/// One shard's admission queue and its wakeup channels.
+struct ShardState {
+    q: Mutex<QueueState>,
+    /// Dispatcher waits here for work / the flush deadline.
+    work: Condvar,
+    /// Producers wait here for queue space (backpressure).
+    space: Condvar,
+    metrics: Mutex<ShardMetrics>,
+}
+
+#[derive(Default)]
+struct ShardMetrics {
+    hist: LatencyHist,
+    requests: u64,
+    batches: u64,
+    full_flushes: u64,
+    timeout_flushes: u64,
+    engine: RunStats,
+}
+
+/// Aggregated service metrics (summed over shards).
+#[derive(Debug, Clone, Default)]
+pub struct ServeStats {
+    /// Requests answered.
+    pub requests: u64,
+    /// Batches dispatched to the engine.
+    pub batches: u64,
+    /// Batches flushed because `max_batch` was reached.
+    pub full_flushes: u64,
+    /// Batches flushed by the `max_wait` deadline (or drained at
+    /// close).
+    pub timeout_flushes: u64,
+    /// Per-request latency (enqueue → response routed), nanoseconds.
+    pub latency: LatencyHist,
+    /// Merged interleaved-engine counters across all dispatches.
+    pub engine: RunStats,
+}
+
+impl ServeStats {
+    /// Mean requests per dispatched batch.
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.requests as f64 / self.batches as f64
+        }
+    }
+}
+
+/// A multi-tenant point-lookup service over a [`ShardedStore`].
+///
+/// `get` is safe to call from any number of threads; each call blocks
+/// until its batch is dispatched and answered. Dropping the service
+/// drains queued requests, answers them, and joins the dispatchers.
+///
+/// # Panics
+/// `get` panics if called after [`close`](Self::close); callers must
+/// not race `get` against `close`.
+pub struct LookupService {
+    store: Arc<ShardedStore>,
+    shards: Vec<Arc<ShardState>>,
+    cfg: ServeConfig,
+    dispatchers: Vec<JoinHandle<()>>,
+}
+
+impl LookupService {
+    /// Start one dispatcher thread per shard of `store`. Accepts the
+    /// store by value or as an `Arc` (so one immutable store can back
+    /// several service instances, e.g. across benchmark cells).
+    ///
+    /// # Panics
+    /// Panics if `queue_cap` or `max_batch` is 0.
+    pub fn start(store: impl Into<Arc<ShardedStore>>, cfg: ServeConfig) -> Self {
+        assert!(cfg.queue_cap > 0, "queue_cap must be positive");
+        assert!(cfg.batch.max_batch > 0, "max_batch must be positive");
+        let store = store.into();
+        let shards: Vec<Arc<ShardState>> = (0..store.num_shards())
+            .map(|_| {
+                Arc::new(ShardState {
+                    q: Mutex::new(QueueState {
+                        reqs: VecDeque::new(),
+                        open: true,
+                    }),
+                    work: Condvar::new(),
+                    space: Condvar::new(),
+                    metrics: Mutex::new(ShardMetrics::default()),
+                })
+            })
+            .collect();
+        let dispatchers = shards
+            .iter()
+            .enumerate()
+            .map(|(shard, state)| {
+                let store = Arc::clone(&store);
+                let state = Arc::clone(state);
+                std::thread::Builder::new()
+                    .name(format!("isi-serve-{shard}"))
+                    .spawn(move || dispatch_loop(&store, shard, &state, cfg))
+                    .expect("spawn dispatcher thread")
+            })
+            .collect();
+        Self {
+            store,
+            shards,
+            cfg,
+            dispatchers,
+        }
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &ShardedStore {
+        &self.store
+    }
+
+    /// The configuration the service was started with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// Look up one key: enqueue on the owning shard, block until the
+    /// dispatcher answers. Applies backpressure — blocks while the
+    /// shard's queue holds `queue_cap` requests.
+    pub fn get(&self, key: u64) -> Option<u64> {
+        let state = &self.shards[self.store.shard_of(key)];
+        let ticket = Arc::new(Ticket::new());
+        {
+            let mut q = state.q.lock().unwrap();
+            loop {
+                assert!(q.open, "LookupService::get on a closed service");
+                if q.reqs.len() < self.cfg.queue_cap {
+                    break;
+                }
+                q = state.space.wait(q).unwrap();
+            }
+            q.reqs.push_back(Request {
+                key,
+                enqueued: Instant::now(),
+                ticket: Arc::clone(&ticket),
+            });
+            // Wake the dispatcher when the batch fills, and on the
+            // first request so it arms the max_wait deadline.
+            if q.reqs.len() == 1 || q.reqs.len() >= self.cfg.batch.max_batch {
+                state.work.notify_one();
+            }
+        }
+        ticket.wait()
+    }
+
+    /// Aggregated metrics over all shards (latency histograms merged).
+    pub fn stats(&self) -> ServeStats {
+        let mut total = ServeStats::default();
+        for state in &self.shards {
+            let m = state.metrics.lock().unwrap();
+            total.requests += m.requests;
+            total.batches += m.batches;
+            total.full_flushes += m.full_flushes;
+            total.timeout_flushes += m.timeout_flushes;
+            total.latency.merge(&m.hist);
+            total.engine.merge(&m.engine);
+        }
+        total
+    }
+
+    /// Stop accepting requests, answer everything still queued, and
+    /// join the dispatchers. Idempotent; also run by `Drop`.
+    pub fn close(&mut self) {
+        for state in &self.shards {
+            let mut q = state.q.lock().unwrap();
+            q.open = false;
+            state.work.notify_all();
+            state.space.notify_all();
+        }
+        for handle in self.dispatchers.drain(..) {
+            handle.join().expect("dispatcher thread panicked");
+        }
+    }
+}
+
+impl Drop for LookupService {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+/// The per-shard dispatcher: wait for work, flush on `max_batch` or
+/// `max_wait`, run the batch through the interleaved engine, route
+/// responses, record latency.
+fn dispatch_loop(store: &ShardedStore, shard: usize, state: &ShardState, cfg: ServeConfig) {
+    let mut batch: Vec<Request> = Vec::with_capacity(cfg.batch.max_batch);
+    let mut keys: Vec<u64> = Vec::with_capacity(cfg.batch.max_batch);
+    let mut scratch: Vec<u32> = Vec::new();
+    let mut out: Vec<Option<u64>> = Vec::with_capacity(cfg.batch.max_batch);
+    let mut q = state.q.lock().unwrap();
+    loop {
+        if q.reqs.is_empty() {
+            if !q.open {
+                return;
+            }
+            q = state.work.wait(q).unwrap();
+            continue;
+        }
+        let full = q.reqs.len() >= cfg.batch.max_batch;
+        if !full && q.open {
+            // Ragged batch on an open queue: wait out the residual
+            // max_wait of the oldest request (more requests may land
+            // and fill the batch; a closed queue drains immediately).
+            let deadline = q.reqs[0].enqueued + cfg.batch.max_wait;
+            let now = Instant::now();
+            if now < deadline {
+                (q, _) = state.work.wait_timeout(q, deadline - now).unwrap();
+                continue;
+            }
+        }
+        let n = q.reqs.len().min(cfg.batch.max_batch);
+        batch.clear();
+        batch.extend(q.reqs.drain(..n));
+        state.space.notify_all();
+        drop(q);
+
+        keys.clear();
+        keys.extend(batch.iter().map(|r| r.key));
+        out.clear();
+        out.resize(n, None);
+        let engine = store.lookup_batch(shard, &keys, cfg.policy, cfg.par, &mut scratch, &mut out);
+
+        let mut m = state.metrics.lock().unwrap();
+        for (req, &result) in batch.iter().zip(&out) {
+            req.ticket.fulfill(result);
+            m.hist.record(req.enqueued.elapsed().as_nanos() as u64);
+        }
+        m.requests += n as u64;
+        m.batches += 1;
+        if full {
+            m.full_flushes += 1;
+        } else {
+            m.timeout_flushes += 1;
+        }
+        m.engine.merge(&engine);
+        drop(m);
+
+        q = state.q.lock().unwrap();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::Backend;
+
+    fn pairs(n: u64) -> Vec<(u64, u64)> {
+        (0..n).map(|i| (i * 2, i)).collect()
+    }
+
+    fn expect(key: u64) -> Option<u64> {
+        (key.is_multiple_of(2) && key < 4000).then_some(key / 2)
+    }
+
+    #[test]
+    fn single_client_hits_and_misses_all_backends() {
+        for backend in Backend::ALL {
+            let store = ShardedStore::build(backend, 2, &pairs(2000));
+            let svc = LookupService::start(
+                store,
+                ServeConfig {
+                    batch: BatchPolicy {
+                        max_batch: 8,
+                        max_wait: Duration::from_micros(200),
+                    },
+                    ..ServeConfig::default()
+                },
+            );
+            for key in [0u64, 2, 3, 1998, 3998, 4000, 9999] {
+                assert_eq!(svc.get(key), expect(key), "{} key={key}", backend.name());
+            }
+            let stats = svc.stats();
+            assert_eq!(stats.requests, 7);
+            assert!(stats.batches >= 1);
+            assert_eq!(stats.latency.count(), 7);
+            assert!(stats.latency.p99() >= stats.latency.p50());
+        }
+    }
+
+    #[test]
+    fn full_batches_flush_without_waiting() {
+        // max_wait far beyond the test timeout: only max_batch flushes
+        // can answer. Exactly max_batch clients with one outstanding
+        // request each make every flush self-synchronizing — a batch
+        // dispatches precisely when all four have enqueued — so
+        // completion proves the full-batch path with no deadline help.
+        let store = ShardedStore::build(Backend::Hash, 1, &pairs(512));
+        let svc = LookupService::start(
+            store,
+            ServeConfig {
+                batch: BatchPolicy {
+                    max_batch: 4,
+                    max_wait: Duration::from_secs(3600),
+                },
+                ..ServeConfig::default()
+            },
+        );
+        std::thread::scope(|scope| {
+            for c in 0..4u64 {
+                let svc = &svc;
+                scope.spawn(move || {
+                    for i in 0..8u64 {
+                        let key = (c * 8 + i) * 7 % 1100;
+                        assert_eq!(svc.get(key), expect(key));
+                    }
+                });
+            }
+        });
+        let stats = svc.stats();
+        assert_eq!(stats.requests, 32);
+        assert_eq!(stats.batches, 8);
+        assert_eq!(stats.full_flushes, 8);
+        assert!((stats.mean_batch() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lone_request_is_flushed_by_the_deadline() {
+        let store = ShardedStore::build(Backend::Csb, 1, &pairs(100));
+        let svc = LookupService::start(
+            store,
+            ServeConfig {
+                batch: BatchPolicy {
+                    max_batch: 1_000_000,
+                    max_wait: Duration::from_millis(2),
+                },
+                ..ServeConfig::default()
+            },
+        );
+        let t0 = Instant::now();
+        assert_eq!(svc.get(42), Some(21));
+        // Generous bound: the flush must come from the deadline, not
+        // from a full batch, and must not hang.
+        assert!(t0.elapsed() < Duration::from_secs(10));
+        assert_eq!(svc.stats().timeout_flushes, 1);
+    }
+
+    #[test]
+    fn tiny_queue_cap_applies_backpressure_without_deadlock() {
+        let store = ShardedStore::build(Backend::Sorted, 2, &pairs(1000));
+        let svc = LookupService::start(
+            store,
+            ServeConfig {
+                queue_cap: 1,
+                batch: BatchPolicy {
+                    max_batch: 2,
+                    max_wait: Duration::from_micros(100),
+                },
+                ..ServeConfig::default()
+            },
+        );
+        std::thread::scope(|scope| {
+            for c in 0..6u64 {
+                let svc = &svc;
+                scope.spawn(move || {
+                    for i in 0..50u64 {
+                        let key = (c * 50 + i) % 2100;
+                        assert_eq!(svc.get(key), expect(key));
+                    }
+                });
+            }
+        });
+        assert_eq!(svc.stats().requests, 300);
+    }
+
+    #[test]
+    fn drop_drains_and_joins() {
+        let store = ShardedStore::build(Backend::Hash, 4, &pairs(100));
+        let svc = LookupService::start(store, ServeConfig::default());
+        assert_eq!(svc.get(4), Some(2));
+        drop(svc); // must not hang
+    }
+
+    #[test]
+    fn stats_engine_counters_flow_through() {
+        let store = ShardedStore::build(Backend::Csb, 1, &pairs(5000));
+        let svc = LookupService::start(
+            store,
+            ServeConfig {
+                policy: Interleave::Interleaved(6),
+                batch: BatchPolicy {
+                    max_batch: 16,
+                    max_wait: Duration::from_micros(100),
+                },
+                ..ServeConfig::default()
+            },
+        );
+        for key in 0..64u64 {
+            svc.get(key * 2);
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.engine.lookups, 64);
+        // Interleaved tree descents switch at least once per lookup.
+        assert!(stats.engine.switches >= 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "queue_cap must be positive")]
+    fn rejects_zero_queue_cap() {
+        let store = ShardedStore::build(Backend::Sorted, 1, &[]);
+        LookupService::start(
+            store,
+            ServeConfig {
+                queue_cap: 0,
+                ..ServeConfig::default()
+            },
+        );
+    }
+}

@@ -1,0 +1,358 @@
+//! [`ShardedStore`]: a hash-partitioned key/value store whose shards
+//! are served by the existing bulk index drivers.
+//!
+//! The serving layer needs two things from its storage: a way to route
+//! a key to the one shard that owns it, and a way to run a *batch* of
+//! same-shard lookups through the morsel-parallel interleaved engine.
+//! Each shard is one of the three index structures the workspace
+//! already knows how to drive in bulk:
+//!
+//! * a **sorted column** (binary-search rank + equality resolve, the
+//!   paper's dictionary `locate`),
+//! * a **CSB+-tree** (Listing 6 traversal coroutines),
+//! * a **chained hash table** (Section 6 probe coroutines).
+//!
+//! Shard routing uses the *top* bits of the key's Fibonacci hash. The
+//! hash-table backend buckets on bits 32 and up of the same hash
+//! (`(hash64 >> 32) & mask`), so the two partitions stay independent
+//! as long as a shard's bucket count stays below
+//! 2^(32 − shard_bits); sharing bits with the bucket index would
+//! leave every shard's table using only a fraction of its buckets.
+
+use isi_core::mem::DirectMem;
+use isi_core::par::ParConfig;
+use isi_core::policy::Interleave;
+use isi_core::sched::RunStats;
+use isi_csb::{CsbTree, DirectTreeStore};
+use isi_hash::table::{ChainedHashTable, HashKey};
+
+/// Which index structure backs every shard of a [`ShardedStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// Sorted key column + aligned value column; lookups are
+    /// interleaved binary-search ranks resolved by an equality check.
+    Sorted,
+    /// A CSB+-tree per shard; lookups are interleaved tree descents.
+    Csb,
+    /// A chained hash table per shard; lookups are interleaved probes.
+    Hash,
+}
+
+impl Backend {
+    /// All backends, in sweep order.
+    pub const ALL: [Backend; 3] = [Backend::Sorted, Backend::Csb, Backend::Hash];
+
+    /// Stable lowercase name (used in benchmark documents).
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Sorted => "sorted",
+            Backend::Csb => "csb",
+            Backend::Hash => "hash",
+        }
+    }
+
+    /// Parse a [`Self::name`] back into a backend.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|b| b.name() == name)
+    }
+}
+
+/// One shard's index structure (private: the store picks per backend).
+enum ShardIndex {
+    Sorted { keys: Vec<u64>, vals: Vec<u64> },
+    Csb(CsbTree<u64, u64>),
+    Hash(ChainedHashTable<u64, u64>),
+}
+
+/// A key/value store hash-partitioned into power-of-two shards, each
+/// shard an independent index servable by the bulk interleaved drivers.
+pub struct ShardedStore {
+    backend: Backend,
+    shard_bits: u32,
+    shards: Vec<ShardIndex>,
+    len: usize,
+}
+
+impl ShardedStore {
+    /// Build from key/value pairs.
+    ///
+    /// # Panics
+    /// Panics if `num_shards` is not a power of two (including 0) or if
+    /// `pairs` contains duplicate keys.
+    pub fn build(backend: Backend, num_shards: usize, pairs: &[(u64, u64)]) -> Self {
+        assert!(
+            num_shards.is_power_of_two(),
+            "num_shards must be a power of two, got {num_shards}"
+        );
+        let shard_bits = num_shards.trailing_zeros();
+        let mut parts: Vec<Vec<(u64, u64)>> = (0..num_shards).map(|_| Vec::new()).collect();
+        for &(k, v) in pairs {
+            parts[shard_route(k, shard_bits)].push((k, v));
+        }
+        let shards = parts
+            .into_iter()
+            .map(|mut part| {
+                part.sort_unstable_by_key(|&(k, _)| k);
+                for w in part.windows(2) {
+                    assert!(w[0].0 < w[1].0, "duplicate key {} in store input", w[0].0);
+                }
+                match backend {
+                    Backend::Sorted => ShardIndex::Sorted {
+                        keys: part.iter().map(|&(k, _)| k).collect(),
+                        vals: part.iter().map(|&(_, v)| v).collect(),
+                    },
+                    Backend::Csb => ShardIndex::Csb(CsbTree::from_sorted(&part)),
+                    Backend::Hash => {
+                        let mut t = ChainedHashTable::with_capacity(part.len());
+                        for &(k, v) in &part {
+                            t.insert(k, v);
+                        }
+                        ShardIndex::Hash(t)
+                    }
+                }
+            })
+            .collect();
+        Self {
+            backend,
+            shard_bits,
+            shards,
+            len: pairs.len(),
+        }
+    }
+
+    /// The backend every shard uses.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Number of shards (a power of two).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total number of key/value pairs across all shards.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the store holds no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The shard that owns `key`.
+    #[inline]
+    pub fn shard_of(&self, key: u64) -> usize {
+        shard_route(key, self.shard_bits)
+    }
+
+    /// Sequential point lookup — the oracle the batched path must
+    /// agree with, and the baseline the service's batching is measured
+    /// against.
+    pub fn get(&self, key: u64) -> Option<u64> {
+        match &self.shards[self.shard_of(key)] {
+            ShardIndex::Sorted { keys, vals } => keys.binary_search(&key).ok().map(|i| vals[i]),
+            ShardIndex::Csb(tree) => tree.get(&key),
+            ShardIndex::Hash(table) => table.get(&key),
+        }
+    }
+
+    /// Run a batch of lookups that all route to `shard` through the
+    /// morsel-parallel interleaved engine, scattering `out[i]` =
+    /// lookup result of `keys[i]`. Returns the engine's merged
+    /// [`RunStats`].
+    ///
+    /// `scratch` is caller-owned rank scratch space (used by the
+    /// sorted backend); reusing one vector across calls keeps the
+    /// steady-state dispatch path allocation-free, matching the
+    /// engine's frame-slab discipline.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != keys.len()` or if some key does not
+    /// route to `shard` (batch formation bug in the caller).
+    pub fn lookup_batch(
+        &self,
+        shard: usize,
+        keys: &[u64],
+        policy: Interleave,
+        par: ParConfig,
+        scratch: &mut Vec<u32>,
+        out: &mut [Option<u64>],
+    ) -> RunStats {
+        assert_eq!(keys.len(), out.len(), "output length mismatch");
+        debug_assert!(
+            keys.iter().all(|&k| self.shard_of(k) == shard),
+            "batch contains keys routed to another shard"
+        );
+        let group = policy.group_or_one();
+        match &self.shards[shard] {
+            ShardIndex::Sorted { keys: col, vals } => {
+                // Rank via the interleaved binary-search coroutines,
+                // then resolve rank -> value with one equality check
+                // (the rank position is cache-hot right after the
+                // search touched it).
+                if col.is_empty() {
+                    out.fill(None);
+                    return RunStats::default();
+                }
+                let mem = DirectMem::new(col);
+                scratch.clear();
+                scratch.resize(keys.len(), 0);
+                let stats = isi_search::bulk_rank_coro_par(mem, keys, group, par, scratch);
+                for ((o, &r), &k) in out.iter_mut().zip(scratch.iter()).zip(keys) {
+                    *o = (col[r as usize] == k).then(|| vals[r as usize]);
+                }
+                stats
+            }
+            ShardIndex::Csb(tree) => {
+                isi_csb::bulk_lookup_par(DirectTreeStore::new(tree), keys, group, par, out)
+            }
+            ShardIndex::Hash(table) => isi_hash::bulk_probe_par(table, keys, group, par, out),
+        }
+    }
+}
+
+/// Top-bits shard routing: shard = high `bits` bits of the Fibonacci
+/// hash (0 when `bits == 0`).
+#[inline]
+fn shard_route(key: u64, bits: u32) -> usize {
+    if bits == 0 {
+        0
+    } else {
+        (key.hash64() >> (64 - bits)) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pairs(n: u64) -> Vec<(u64, u64)> {
+        (0..n).map(|i| (i * 3, i + 1000)).collect()
+    }
+
+    #[test]
+    fn routing_covers_all_shards_and_is_stable() {
+        let store = ShardedStore::build(Backend::Sorted, 4, &pairs(4096));
+        let mut per_shard = [0usize; 4];
+        for i in 0..4096u64 {
+            let s = store.shard_of(i * 3);
+            per_shard[s] += 1;
+        }
+        // Fibonacci hashing spreads uniformly: no shard is empty or
+        // grossly overloaded on 4k keys.
+        for (s, &n) in per_shard.iter().enumerate() {
+            assert!(n > 512, "shard {s} underloaded: {n}");
+        }
+        assert_eq!(per_shard.iter().sum::<usize>(), 4096);
+    }
+
+    #[test]
+    fn get_agrees_across_backends_and_shard_counts() {
+        let data = pairs(2000);
+        for backend in Backend::ALL {
+            for shards in [1, 2, 4, 8] {
+                let store = ShardedStore::build(backend, shards, &data);
+                assert_eq!(store.len(), 2000);
+                assert_eq!(store.num_shards(), shards);
+                for probe in 0..3100u64 {
+                    let expect = (probe % 3 == 0 && probe < 6000).then(|| probe / 3 + 1000);
+                    assert_eq!(
+                        store.get(probe),
+                        expect,
+                        "{}/{shards} probe={probe}",
+                        backend.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_lookup_matches_get() {
+        let data = pairs(5000);
+        let probes: Vec<u64> = (0..2500).map(|i| i * 7 % 16_000).collect();
+        for backend in Backend::ALL {
+            for shards in [1, 4] {
+                let store = ShardedStore::build(backend, shards, &data);
+                // Form per-shard batches exactly as the service does.
+                let mut batches: Vec<Vec<u64>> = vec![Vec::new(); shards];
+                for &p in &probes {
+                    batches[store.shard_of(p)].push(p);
+                }
+                let mut scratch = Vec::new();
+                for (s, batch) in batches.iter().enumerate() {
+                    let mut out = vec![None; batch.len()];
+                    for policy in [Interleave::Sequential, Interleave::Interleaved(6)] {
+                        let stats = store.lookup_batch(
+                            s,
+                            batch,
+                            policy,
+                            ParConfig::with_threads(2),
+                            &mut scratch,
+                            &mut out,
+                        );
+                        assert_eq!(stats.lookups, batch.len() as u64);
+                        for (k, r) in batch.iter().zip(&out) {
+                            assert_eq!(*r, store.get(*k), "{}/{shards}", backend.name());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_store_and_empty_batches() {
+        for backend in Backend::ALL {
+            let store = ShardedStore::build(backend, 2, &[]);
+            assert!(store.is_empty());
+            assert_eq!(store.get(7), None);
+            let mut out = vec![None; 2];
+            // Keys must route to the queried shard; find two that do.
+            let ks: Vec<u64> = (0..100)
+                .filter(|&k| store.shard_of(k) == 0)
+                .take(2)
+                .collect();
+            let mut scratch = Vec::new();
+            store.lookup_batch(
+                0,
+                &ks,
+                Interleave::Interleaved(4),
+                ParConfig::default(),
+                &mut scratch,
+                &mut out,
+            );
+            assert_eq!(out, [None, None]);
+            let stats = store.lookup_batch(
+                1,
+                &[],
+                Interleave::Sequential,
+                ParConfig::default(),
+                &mut scratch,
+                &mut out[..0],
+            );
+            assert_eq!(stats, RunStats::default());
+        }
+    }
+
+    #[test]
+    fn backend_names_roundtrip() {
+        for b in Backend::ALL {
+            assert_eq!(Backend::from_name(b.name()), Some(b));
+        }
+        assert_eq!(Backend::from_name("nope"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_shards() {
+        ShardedStore::build(Backend::Sorted, 3, &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate key")]
+    fn rejects_duplicate_keys() {
+        ShardedStore::build(Backend::Csb, 1, &[(5, 1), (5, 2)]);
+    }
+}

@@ -6,7 +6,7 @@
 
 use std::time::Instant;
 
-use coro_isi::hash::{hash_join, JoinMode};
+use coro_isi::hash::{hash_join, Interleave};
 
 fn main() {
     // customers(cust_id, region), ~8M build tuples (out of cache).
@@ -24,11 +24,11 @@ fn main() {
         .collect();
 
     let t = Instant::now();
-    let seq = hash_join(&customers, &orders, JoinMode::Sequential);
+    let seq = hash_join(&customers, &orders, Interleave::Sequential);
     let t_seq = t.elapsed();
 
     let t = Instant::now();
-    let inter = hash_join(&customers, &orders, JoinMode::Interleaved(6));
+    let inter = hash_join(&customers, &orders, Interleave::Interleaved(6));
     let t_int = t.elapsed();
 
     assert_eq!(seq, inter, "join output must not depend on the probe mode");

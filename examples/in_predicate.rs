@@ -8,7 +8,7 @@
 
 use std::time::Instant;
 
-use coro_isi::columnstore::{ExecMode, Table};
+use coro_isi::columnstore::{Interleave, Table};
 use coro_isi::search::Str16;
 use coro_isi::workloads;
 
@@ -40,11 +40,11 @@ fn main() {
     let in_list = workloads::tpcds_q8_zipcodes(400, 2);
 
     let t = Instant::now();
-    let (rows_seq, stats) = table.select_in("ca_zip", &in_list, ExecMode::Sequential);
+    let (rows_seq, stats) = table.select_in("ca_zip", &in_list, Interleave::Sequential);
     let seq = t.elapsed();
 
     let t = Instant::now();
-    let (rows_int, stats_int) = table.select_in("ca_zip", &in_list, ExecMode::Interleaved(6));
+    let (rows_int, stats_int) = table.select_in("ca_zip", &in_list, Interleave::Interleaved(6));
     let inter = t.elapsed();
 
     assert_eq!(rows_seq, rows_int, "execution mode must not change results");

@@ -27,12 +27,15 @@
 //!   column store with Main/Delta parts and IN-predicate execution.
 //! * [`memsim`](isi_memsim) — a software model of the paper's Haswell
 //!   memory hierarchy for the microarchitectural experiments.
+//! * [`serve`](isi_serve) — a sharded, admission-batched point-lookup
+//!   service that coalesces concurrent single-key requests into
+//!   interleaved batches.
 //! * [`workloads`](isi_workloads) — the paper's data/lookup generators.
 //!
 //! ## Quickstart
 //!
 //! ```
-//! use coro_isi::columnstore::{Column, ExecMode, execute_in};
+//! use coro_isi::columnstore::{Column, Interleave, execute_in};
 //!
 //! // A dictionary-encoded column: 100k rows over 10k distinct values.
 //! let rows: Vec<u32> = (0..100_000).map(|i| i % 10_000).collect();
@@ -40,7 +43,7 @@
 //!
 //! // SELECT ... WHERE col IN (...) with an interleaved encode phase.
 //! let in_list: Vec<u32> = (0..500).map(|i| i * 20).collect();
-//! let (row_ids, stats) = execute_in(&column, &in_list, ExecMode::Interleaved(6));
+//! let (row_ids, stats) = execute_in(&column, &in_list, Interleave::Interleaved(6));
 //! assert_eq!(stats.rows, row_ids.len());
 //! assert_eq!(row_ids.len(), 500 * 10); // each matched value appears 10x
 //! ```
@@ -51,4 +54,5 @@ pub use isi_csb as csb;
 pub use isi_hash as hash;
 pub use isi_memsim as memsim;
 pub use isi_search as search;
+pub use isi_serve as serve;
 pub use isi_workloads as workloads;

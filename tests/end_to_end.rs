@@ -3,10 +3,11 @@
 //! the simulator — exercised together, checked against independent
 //! oracles.
 
-use coro_isi::columnstore::{execute_in, execute_in_naive, Column, ExecMode, Table};
+use coro_isi::columnstore::{execute_in, execute_in_naive, Column, Table};
 use coro_isi::core::mem::DirectMem;
+use coro_isi::core::Interleave;
 use coro_isi::csb::{bulk_lookup_interleaved, CsbTree, DirectTreeStore};
-use coro_isi::hash::{hash_join, nested_loop_join, JoinMode};
+use coro_isi::hash::{hash_join, nested_loop_join};
 use coro_isi::memsim::{SharedMachine, SimArray};
 use coro_isi::search::{bulk_rank_coro, rank_oracle, Str16};
 use coro_isi::workloads as wl;
@@ -22,7 +23,7 @@ fn full_table_lifecycle_with_interleaved_queries() {
     }
     let in_list: Vec<Str16> = zips.iter().step_by(13).copied().collect();
 
-    let before_merge = table.select_in("zip", &in_list, ExecMode::Interleaved(6));
+    let before_merge = table.select_in("zip", &in_list, Interleave::Interleaved(6));
     assert_eq!(
         before_merge.0,
         execute_in_naive(table.column("zip"), &in_list),
@@ -30,7 +31,7 @@ fn full_table_lifecycle_with_interleaved_queries() {
     );
 
     table.merge_all_deltas();
-    let after_merge = table.select_in("zip", &in_list, ExecMode::Interleaved(6));
+    let after_merge = table.select_in("zip", &in_list, Interleave::Interleaved(6));
     assert_eq!(
         before_merge.0, after_merge.0,
         "merge must not change results"
@@ -40,7 +41,7 @@ fn full_table_lifecycle_with_interleaved_queries() {
     for i in 0..5_000u64 {
         table.insert(&[zips[(i % 500) as usize], Str16::from_index(i % 100)]);
     }
-    let (rows, stats) = table.select_in("zip", &in_list, ExecMode::Interleaved(6));
+    let (rows, stats) = table.select_in("zip", &in_list, Interleave::Interleaved(6));
     assert_eq!(rows, execute_in_naive(table.column("zip"), &in_list));
     assert!(stats.main_matches > 0 && stats.rows > after_merge.1.rows);
 }
@@ -86,7 +87,7 @@ fn hash_join_consistent_with_in_predicate_semantics() {
     let column = Column::from_rows(&rows);
     let in_list: Vec<u32> = (0..200).map(|i| i * 5).collect();
 
-    let (row_ids, _) = execute_in(&column, &in_list, ExecMode::Interleaved(6));
+    let (row_ids, _) = execute_in(&column, &in_list, Interleave::Interleaved(6));
 
     let build: Vec<(u32, ())> = in_list.iter().map(|v| (*v, ())).collect();
     let probe: Vec<(u32, u64)> = rows
@@ -94,7 +95,7 @@ fn hash_join_consistent_with_in_predicate_semantics() {
         .enumerate()
         .map(|(i, v)| (*v, i as u64))
         .collect();
-    let mut joined: Vec<u64> = hash_join(&build, &probe, JoinMode::Interleaved(6))
+    let mut joined: Vec<u64> = hash_join(&build, &probe, Interleave::Interleaved(6))
         .into_iter()
         .map(|(_, _, row)| row)
         .collect();
@@ -105,7 +106,7 @@ fn hash_join_consistent_with_in_predicate_semantics() {
     let small_build = &build[..20];
     let small_probe = &probe[..500];
     assert_eq!(
-        hash_join(small_build, small_probe, JoinMode::Interleaved(4)),
+        hash_join(small_build, small_probe, Interleave::Interleaved(4)),
         nested_loop_join(small_build, small_probe)
     );
 }
@@ -141,8 +142,8 @@ fn string_and_int_columns_behave_identically() {
     let int_list: Vec<u64> = (0..100).map(|i| i * 19).collect();
     let str_list: Vec<Str16> = int_list.iter().map(|&v| Str16::from_index(v)).collect();
 
-    let (int_ids, int_stats) = execute_in(&int_col, &int_list, ExecMode::Interleaved(6));
-    let (str_ids, str_stats) = execute_in(&str_col, &str_list, ExecMode::Interleaved(6));
+    let (int_ids, int_stats) = execute_in(&int_col, &int_list, Interleave::Interleaved(6));
+    let (str_ids, str_stats) = execute_in(&str_col, &str_list, Interleave::Interleaved(6));
     assert_eq!(int_ids, str_ids);
     assert_eq!(int_stats, str_stats);
 }
