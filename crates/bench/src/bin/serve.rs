@@ -1,22 +1,35 @@
-//! `serve` — load sweep of the sharded, admission-batched lookup
+//! `serve` — load sweeps of the sharded, admission-batched lookup
 //! service ([`isi_serve`]).
 //!
-//! Measures throughput and admission-to-response latency quantiles
-//! for {backend} × {shard count} × {batch policy} × {closed, open}
-//! load modes through concurrent client threads, and writes a
-//! machine-readable `BENCH_serve.json` (schema `isi-serve/v1`),
-//! self-verifying the document before exiting.
+//! The default sweep measures read-only throughput and
+//! admission-to-response latency quantiles for {backend} × {shard
+//! count} × {batch policy} × {closed, open} load modes and writes a
+//! machine-readable `BENCH_serve.json` (schema `isi-serve/v1`).
+//!
+//! `--mixed` instead sweeps {backend} × {shard count} × {write
+//! fraction} over the **writable** store — closed-loop clients whose
+//! op streams mix `get`/`put`/`remove` — and writes
+//! `BENCH_serve_mixed.json` (schema `isi-serve-mixed/v1`), including
+//! merge counts, merge latency and hot-key-cache hits. Both binaries'
+//! documents self-verify before exiting.
 //!
 //! ```text
-//! serve [--smoke] [--out PATH]        run the sweep
+//! serve [--smoke] [--out PATH]        run the read-only sweep
+//! serve --mixed [--smoke] [--out PATH] run the mixed read/write sweep
 //! serve --verify PATH                 validate an existing file
+//!                                     (either schema, by its tag)
 //! ```
 //!
 //! Knobs (apply on top of the chosen preset): `--keys N`,
 //! `--clients N`, `--requests N` (per client), `--shards a,b,..`,
-//! `--rate RPS` (open-loop offered load), `--group N`.
+//! `--rate RPS` (open-loop offered load, read-only sweep),
+//! `--group N`, `--threshold N` (delta merge threshold, mixed sweep),
+//! `--cache N` (hot-key cache slots, mixed sweep).
 
-use isi_bench::serve::{run_sweep, to_json, verify, verify_text, ServeBenchCfg};
+use isi_bench::serve::{
+    run_mixed_sweep, run_sweep, to_json, to_mixed_json, verify, verify_any_text, verify_mixed,
+    MixedBenchCfg, ServeBenchCfg,
+};
 
 fn fail(msg: &str) -> ! {
     eprintln!("serve: {msg}");
@@ -30,16 +43,44 @@ fn parse_usize(s: &str, flag: &str) -> usize {
         .unwrap_or_else(|| fail(&format!("bad {flag} (need integer >= 1)")))
 }
 
+fn parse_shards(s: &str) -> Vec<usize> {
+    let list: Vec<usize> = s
+        .split(',')
+        .map(|p| {
+            p.trim()
+                .parse()
+                .ok()
+                .filter(|&v: &usize| v.is_power_of_two())
+                .unwrap_or_else(|| fail(&format!("bad --shards entry {p:?} (need power of two)")))
+        })
+        .collect();
+    if list.is_empty() {
+        fail("--shards must be a non-empty list");
+    }
+    list
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    // `--smoke` picks the base preset before the knob flags apply, so
+    // Mode flags pick the base preset before the knob flags apply, so
     // flag order does not matter.
-    let mut cfg = if args.iter().any(|a| a == "--smoke") {
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let mixed = args.iter().any(|a| a == "--mixed");
+    let mut cfg = if smoke {
         ServeBenchCfg::smoke()
     } else {
         ServeBenchCfg::full()
     };
-    let mut out_path = "BENCH_serve.json".to_string();
+    let mut mixed_cfg = if smoke {
+        MixedBenchCfg::smoke()
+    } else {
+        MixedBenchCfg::full()
+    };
+    let mut out_path = if mixed {
+        "BENCH_serve_mixed.json".to_string()
+    } else {
+        "BENCH_serve.json".to_string()
+    };
     let mut verify_path: Option<String> = None;
 
     let mut it = args.iter();
@@ -50,15 +91,34 @@ fn main() {
                 .clone()
         };
         match arg.as_str() {
-            "--smoke" => {}
+            "--smoke" | "--mixed" => {}
             "--out" => out_path = value("--out"),
             "--verify" => verify_path = Some(value("--verify")),
-            "--keys" => cfg.store_keys = parse_usize(&value("--keys"), "--keys"),
-            "--clients" => cfg.clients = parse_usize(&value("--clients"), "--clients"),
-            "--requests" => {
-                cfg.requests_per_client = parse_usize(&value("--requests"), "--requests")
+            "--keys" => {
+                cfg.store_keys = parse_usize(&value("--keys"), "--keys");
+                mixed_cfg.store_keys = cfg.store_keys;
             }
-            "--group" => cfg.group = parse_usize(&value("--group"), "--group"),
+            "--clients" => {
+                cfg.clients = parse_usize(&value("--clients"), "--clients");
+                mixed_cfg.clients = cfg.clients;
+            }
+            "--requests" => {
+                cfg.requests_per_client = parse_usize(&value("--requests"), "--requests");
+                mixed_cfg.requests_per_client = cfg.requests_per_client;
+            }
+            "--group" => {
+                cfg.group = parse_usize(&value("--group"), "--group");
+                mixed_cfg.group = cfg.group;
+            }
+            "--threshold" => {
+                mixed_cfg.merge_threshold = parse_usize(&value("--threshold"), "--threshold");
+            }
+            "--cache" => {
+                // 0 is meaningful here: it disables the hot-key cache.
+                mixed_cfg.hot_cache_slots = value("--cache")
+                    .parse()
+                    .unwrap_or_else(|_| fail("bad --cache (need integer >= 0)"));
+            }
             "--rate" => {
                 cfg.open_rate_rps = value("--rate")
                     .parse()
@@ -67,22 +127,8 @@ fn main() {
                     .unwrap_or_else(|| fail("bad --rate (need positive number)"))
             }
             "--shards" => {
-                let list: Vec<usize> = value("--shards")
-                    .split(',')
-                    .map(|p| {
-                        p.trim()
-                            .parse()
-                            .ok()
-                            .filter(|&v: &usize| v.is_power_of_two())
-                            .unwrap_or_else(|| {
-                                fail(&format!("bad --shards entry {p:?} (need power of two)"))
-                            })
-                    })
-                    .collect();
-                if list.is_empty() {
-                    fail("--shards must be a non-empty list");
-                }
-                cfg.shard_counts = list;
+                cfg.shard_counts = parse_shards(&value("--shards"));
+                mixed_cfg.shard_counts = cfg.shard_counts.clone();
             }
             other => fail(&format!("unknown argument {other:?}")),
         }
@@ -91,39 +137,72 @@ fn main() {
     if let Some(path) = verify_path {
         let text =
             std::fs::read_to_string(&path).unwrap_or_else(|e| fail(&format!("read {path}: {e}")));
-        match verify_text(&text) {
+        match verify_any_text(&text) {
             Ok(()) => println!("{path}: OK ({} bytes)", text.len()),
             Err(e) => fail(&format!("{path}: INVALID: {e}")),
         }
         return;
     }
 
-    println!(
-        "# serve sweep: backends={:?} shards={:?} policies={:?} keys={} clients={} reqs/client={} open-rate={}",
-        cfg.backends.iter().map(|b| b.name()).collect::<Vec<_>>(),
-        cfg.shard_counts,
-        cfg.policies,
-        cfg.store_keys,
-        cfg.clients,
-        cfg.requests_per_client,
-        cfg.open_rate_rps,
-    );
-    let cells = run_sweep(&cfg, |c| {
+    let doc = if mixed {
         println!(
-            "{:>6} {:>6} shards={:<2} batch={:<4} wait={:<6}us {:>10.0} req/s  p50={:<9} p99={:<9} mean_batch={:.1}",
-            c.mode,
-            c.backend.name(),
-            c.shards,
-            c.policy.max_batch,
-            c.policy.max_wait_us,
-            c.throughput_rps,
-            format!("{}ns", c.p50_ns),
-            format!("{}ns", c.p99_ns),
-            c.mean_batch,
+            "# mixed serve sweep: backends={:?} shards={:?} write-fractions={:?} keys={} clients={} reqs/client={} threshold={} cache={}",
+            mixed_cfg.backends.iter().map(|b| b.name()).collect::<Vec<_>>(),
+            mixed_cfg.shard_counts,
+            mixed_cfg.write_fractions,
+            mixed_cfg.store_keys,
+            mixed_cfg.clients,
+            mixed_cfg.requests_per_client,
+            mixed_cfg.merge_threshold,
+            mixed_cfg.hot_cache_slots,
         );
-    });
-    let doc = to_json(&cfg, &cells);
-    verify(&doc).unwrap_or_else(|e| fail(&format!("produced document failed self-check: {e}")));
+        let cells = run_mixed_sweep(&mixed_cfg, |c| {
+            println!(
+                "{:>6} shards={:<2} writes={:<4} {:>10.0} op/s  p50={:<9} p99={:<9} merges={:<4} delta={:<5} cache_hits={}",
+                c.backend.name(),
+                c.shards,
+                format!("{}%", (c.write_fraction * 100.0).round()),
+                c.throughput_rps,
+                format!("{}ns", c.p50_ns),
+                format!("{}ns", c.p99_ns),
+                c.merges,
+                c.delta_keys,
+                c.cache_hits,
+            );
+        });
+        let doc = to_mixed_json(&mixed_cfg, &cells);
+        verify_mixed(&doc)
+            .unwrap_or_else(|e| fail(&format!("produced document failed self-check: {e}")));
+        doc
+    } else {
+        println!(
+            "# serve sweep: backends={:?} shards={:?} policies={:?} keys={} clients={} reqs/client={} open-rate={}",
+            cfg.backends.iter().map(|b| b.name()).collect::<Vec<_>>(),
+            cfg.shard_counts,
+            cfg.policies,
+            cfg.store_keys,
+            cfg.clients,
+            cfg.requests_per_client,
+            cfg.open_rate_rps,
+        );
+        let cells = run_sweep(&cfg, |c| {
+            println!(
+                "{:>6} {:>6} shards={:<2} batch={:<4} wait={:<6}us {:>10.0} req/s  p50={:<9} p99={:<9} mean_batch={:.1}",
+                c.mode,
+                c.backend.name(),
+                c.shards,
+                c.policy.max_batch,
+                c.policy.max_wait_us,
+                c.throughput_rps,
+                format!("{}ns", c.p50_ns),
+                format!("{}ns", c.p99_ns),
+                c.mean_batch,
+            );
+        });
+        let doc = to_json(&cfg, &cells);
+        verify(&doc).unwrap_or_else(|e| fail(&format!("produced document failed self-check: {e}")));
+        doc
+    };
     std::fs::write(&out_path, doc.to_pretty())
         .unwrap_or_else(|e| fail(&format!("write {out_path}: {e}")));
     println!("wrote {out_path}");

@@ -18,12 +18,19 @@
 //! [`LatencyHist`](isi_core::stats::LatencyHist) (admission →
 //! response), so the document records the queueing cost of batching,
 //! not just engine time.
+//!
+//! A second, **mixed read/write** sweep (`--mixed`, schema
+//! `isi-serve-mixed/v1`) drives closed-loop clients whose operation
+//! streams contain a configurable write fraction (puts + removes)
+//! against a writable store, recording merge counts, merge latency,
+//! residual delta size and hot-key-cache hits alongside the usual
+//! throughput/latency columns.
 
 use std::time::{Duration, Instant};
 
 use isi_core::par::ParConfig;
 use isi_core::policy::Interleave;
-use isi_serve::{Backend, BatchPolicy, LookupService, ServeConfig, ShardedStore};
+use isi_serve::{Backend, BatchPolicy, LookupService, ServeConfig, ShardedStore, StoreConfig};
 use isi_workloads::uniform_indices;
 
 use crate::json::{self, num, obj, str, Json};
@@ -195,6 +202,7 @@ pub fn measure_cell(
             batch: policy.to_batch_policy(),
             queue_cap: cfg.queue_cap,
             par: ParConfig::with_threads(1),
+            hot_cache_slots: 0,
         },
     );
     // Open-loop pacing: the total offered rate split across clients.
@@ -472,6 +480,462 @@ pub fn verify_text(text: &str) -> Result<(), String> {
     verify(&json::parse(text).map_err(|e| format!("JSON parse error: {e}"))?)
 }
 
+// ---------------------------------------------------------------------------
+// Mixed read/write sweep
+// ---------------------------------------------------------------------------
+
+/// Schema tag of the mixed read/write sweep document.
+pub const MIXED_SCHEMA: &str = "isi-serve-mixed/v1";
+
+/// The default write fractions of the mixed sweep.
+pub const WRITE_FRACTIONS: [f64; 4] = [0.0, 0.01, 0.10, 0.50];
+
+/// Mixed-sweep configuration.
+#[derive(Debug, Clone)]
+pub struct MixedBenchCfg {
+    /// Backends to sweep.
+    pub backends: Vec<Backend>,
+    /// Shard counts to sweep (powers of two).
+    pub shard_counts: Vec<usize>,
+    /// Fraction of operations that are writes (puts + removes).
+    pub write_fractions: Vec<f64>,
+    /// Key/value pairs seeded into the store (keys are `0, 2, 4, ...`).
+    pub store_keys: usize,
+    /// Concurrent closed-loop client threads per cell.
+    pub clients: usize,
+    /// Operations each client issues per cell.
+    pub requests_per_client: usize,
+    /// Per-shard delta entries that trigger a merge.
+    pub merge_threshold: usize,
+    /// Per-shard hot-key cache slots (0 disables).
+    pub hot_cache_slots: usize,
+    /// Flush policy for every cell.
+    pub policy: PolicySpec,
+    /// Interleave group size for dispatched batches.
+    pub group: usize,
+    /// Per-shard admission-queue bound.
+    pub queue_cap: usize,
+}
+
+impl MixedBenchCfg {
+    /// Full sweep: a 256k-pair store, all backends, write fractions
+    /// {0, 1%, 10%, 50%}.
+    pub fn full() -> Self {
+        Self {
+            backends: Backend::ALL.to_vec(),
+            shard_counts: vec![2],
+            write_fractions: WRITE_FRACTIONS.to_vec(),
+            store_keys: 1 << 18,
+            clients: 8,
+            requests_per_client: 2_000,
+            // 16k ops across 2 shards: 1% writes stay delta-resident,
+            // 10% merge about once per shard, 50% merge repeatedly.
+            merge_threshold: 512,
+            hot_cache_slots: 64,
+            policy: PolicySpec {
+                max_batch: 64,
+                max_wait_us: 1_000,
+            },
+            group: 6,
+            queue_cap: 1024,
+        }
+    }
+
+    /// Smoke sweep for CI: tiny store, a read-only and a 10%-write
+    /// cell, low merge threshold so merges actually run.
+    pub fn smoke() -> Self {
+        Self {
+            backends: Backend::ALL.to_vec(),
+            shard_counts: vec![2],
+            write_fractions: vec![0.0, 0.10],
+            store_keys: 1 << 12,
+            clients: 4,
+            requests_per_client: 256,
+            // ~10% of 1024 ops are writes across 2 shards: low enough
+            // a threshold of 24 forces real merges in the smoke cell.
+            merge_threshold: 24,
+            hot_cache_slots: 32,
+            policy: PolicySpec {
+                max_batch: 16,
+                max_wait_us: 200,
+            },
+            group: 6,
+            queue_cap: 256,
+        }
+    }
+}
+
+/// One measured cell of the mixed sweep.
+#[derive(Debug, Clone)]
+pub struct MixedCell {
+    /// Store backend.
+    pub backend: Backend,
+    /// Shard count.
+    pub shards: usize,
+    /// Write fraction this cell targeted.
+    pub write_fraction: f64,
+    /// Operations issued (gets incl. cache hits + puts + removes).
+    pub requests: u64,
+    /// Reads issued.
+    pub gets: u64,
+    /// Upserts issued.
+    pub puts: u64,
+    /// Removes issued.
+    pub removes: u64,
+    /// Reads answered by the hot-key cache without dispatch.
+    pub cache_hits: u64,
+    /// Reads that found their key.
+    pub hits: u64,
+    /// Wall time of the whole cell, nanoseconds.
+    pub elapsed_ns: f64,
+    /// Operations per second.
+    pub throughput_rps: f64,
+    /// Latency quantiles (admission → response), nanoseconds.
+    pub p50_ns: u64,
+    /// 95th percentile latency.
+    pub p95_ns: u64,
+    /// 99th percentile latency.
+    pub p99_ns: u64,
+    /// Mean latency.
+    pub mean_ns: f64,
+    /// Batches dispatched.
+    pub batches: u64,
+    /// Mean entries per dispatched batch.
+    pub mean_batch: f64,
+    /// Delta-to-main merges during the cell.
+    pub merges: u64,
+    /// Median merge wall latency, nanoseconds (0 when no merge ran).
+    pub merge_p50_ns: u64,
+    /// Residual delta entries when the cell finished.
+    pub delta_keys: u64,
+}
+
+/// Per-client deterministic op stream: `(key, write_roll)` where
+/// `write_roll` is uniform in `[0, 1e6)`; an op is a write when the
+/// roll lands below `write_fraction * 1e6`, and every 8th write is a
+/// remove.
+fn client_ops(cfg: &MixedBenchCfg, client: usize) -> Vec<(u64, u64)> {
+    let keys = client_probes(cfg.store_keys, cfg.requests_per_client, client);
+    let rolls = uniform_indices(
+        1_000_000,
+        cfg.requests_per_client,
+        client as u64 + 0x5EED_0001,
+    );
+    keys.into_iter()
+        .zip(rolls.into_iter().map(|r| r as u64))
+        .collect()
+}
+
+/// Run one mixed cell: build a fresh writable store (each cell
+/// mutates it), drive closed-loop clients with the cell's write
+/// fraction, read the service's metrics.
+pub fn measure_mixed_cell(
+    backend: Backend,
+    shards: usize,
+    write_fraction: f64,
+    cfg: &MixedBenchCfg,
+) -> MixedCell {
+    let pairs: Vec<(u64, u64)> = (0..cfg.store_keys as u64).map(|i| (i * 2, i)).collect();
+    let store = ShardedStore::build_with(
+        backend,
+        shards,
+        &pairs,
+        StoreConfig {
+            merge_threshold: cfg.merge_threshold,
+        },
+    );
+    let svc = LookupService::start(
+        store,
+        ServeConfig {
+            policy: Interleave::from_group(cfg.group),
+            batch: cfg.policy.to_batch_policy(),
+            queue_cap: cfg.queue_cap,
+            par: ParConfig::with_threads(1),
+            hot_cache_slots: cfg.hot_cache_slots,
+        },
+    );
+    let write_below = (write_fraction * 1e6) as u64;
+    let t0 = Instant::now();
+    // Each client returns (gets, puts, removes, hits).
+    let totals: Vec<(u64, u64, u64, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.clients)
+            .map(|c| {
+                let svc = &svc;
+                let ops = client_ops(cfg, c);
+                scope.spawn(move || {
+                    let (mut gets, mut puts, mut removes, mut hits) = (0u64, 0u64, 0u64, 0u64);
+                    for (i, &(key, roll)) in ops.iter().enumerate() {
+                        if roll < write_below {
+                            if roll % 8 == 0 {
+                                svc.remove(key);
+                                removes += 1;
+                            } else {
+                                svc.put(key, i as u64);
+                                puts += 1;
+                            }
+                        } else {
+                            hits += svc.get(key).is_some() as u64;
+                            gets += 1;
+                        }
+                    }
+                    (gets, puts, removes, hits)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed_ns = t0.elapsed().as_nanos() as f64;
+    let stats = svc.stats();
+    let (gets, puts, removes, hits) = totals.into_iter().fold(
+        (0u64, 0u64, 0u64, 0u64),
+        |(g, p, r, h), (cg, cp, cr, ch)| (g + cg, p + cp, r + cr, h + ch),
+    );
+    let requests = gets + puts + removes;
+    MixedCell {
+        backend,
+        shards,
+        write_fraction,
+        requests,
+        gets,
+        puts,
+        removes,
+        cache_hits: stats.cache_hits,
+        hits,
+        elapsed_ns,
+        throughput_rps: requests as f64 / (elapsed_ns * 1e-9),
+        p50_ns: stats.latency.p50(),
+        p95_ns: stats.latency.p95(),
+        p99_ns: stats.latency.p99(),
+        mean_ns: stats.latency.mean(),
+        batches: stats.batches,
+        mean_batch: stats.mean_batch(),
+        merges: stats.merges,
+        merge_p50_ns: stats.merge_latency.p50(),
+        delta_keys: stats.delta_keys,
+    }
+}
+
+/// Run the whole mixed sweep. `progress` receives one line per
+/// finished cell (pass `|_| {}` to silence).
+pub fn run_mixed_sweep(
+    cfg: &MixedBenchCfg,
+    mut progress: impl FnMut(&MixedCell),
+) -> Vec<MixedCell> {
+    let mut cells = Vec::new();
+    for &backend in &cfg.backends {
+        for &shards in &cfg.shard_counts {
+            for &wf in &cfg.write_fractions {
+                let cell = measure_mixed_cell(backend, shards, wf, cfg);
+                progress(&cell);
+                cells.push(cell);
+            }
+        }
+    }
+    cells
+}
+
+/// Serialize a finished mixed sweep to the `isi-serve-mixed/v1`
+/// document.
+pub fn to_mixed_json(cfg: &MixedBenchCfg, cells: &[MixedCell]) -> Json {
+    let results: Vec<Json> = cells
+        .iter()
+        .map(|c| {
+            obj(vec![
+                ("backend", str(c.backend.name())),
+                ("shards", num(c.shards as f64)),
+                ("write_fraction", num(c.write_fraction)),
+                ("requests", num(c.requests as f64)),
+                ("gets", num(c.gets as f64)),
+                ("puts", num(c.puts as f64)),
+                ("removes", num(c.removes as f64)),
+                ("cache_hits", num(c.cache_hits as f64)),
+                ("hits", num(c.hits as f64)),
+                ("elapsed_ns", num(c.elapsed_ns.round())),
+                ("throughput_rps", num(c.throughput_rps.round())),
+                ("p50_ns", num(c.p50_ns as f64)),
+                ("p95_ns", num(c.p95_ns as f64)),
+                ("p99_ns", num(c.p99_ns as f64)),
+                ("mean_ns", num(c.mean_ns.round())),
+                ("batches", num(c.batches as f64)),
+                ("mean_batch", num((c.mean_batch * 100.0).round() / 100.0)),
+                ("merges", num(c.merges as f64)),
+                ("merge_p50_ns", num(c.merge_p50_ns as f64)),
+                ("delta_keys", num(c.delta_keys as f64)),
+            ])
+        })
+        .collect();
+    obj(vec![
+        ("schema", str(MIXED_SCHEMA)),
+        (
+            "machine",
+            obj(vec![
+                (
+                    "available_parallelism",
+                    num(std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(1) as f64),
+                ),
+                ("arch", str(std::env::consts::ARCH)),
+                ("os", str(std::env::consts::OS)),
+            ]),
+        ),
+        (
+            "config",
+            obj(vec![
+                (
+                    "backends",
+                    Json::Arr(cfg.backends.iter().map(|b| str(b.name())).collect()),
+                ),
+                (
+                    "shard_counts",
+                    Json::Arr(cfg.shard_counts.iter().map(|&s| num(s as f64)).collect()),
+                ),
+                (
+                    "write_fractions",
+                    Json::Arr(cfg.write_fractions.iter().map(|&f| num(f)).collect()),
+                ),
+                ("store_keys", num(cfg.store_keys as f64)),
+                ("clients", num(cfg.clients as f64)),
+                ("requests_per_client", num(cfg.requests_per_client as f64)),
+                ("merge_threshold", num(cfg.merge_threshold as f64)),
+                ("hot_cache_slots", num(cfg.hot_cache_slots as f64)),
+                (
+                    "policy",
+                    obj(vec![
+                        ("max_batch", num(cfg.policy.max_batch as f64)),
+                        ("max_wait_us", num(cfg.policy.max_wait_us as f64)),
+                    ]),
+                ),
+                ("group", num(cfg.group as f64)),
+                ("queue_cap", num(cfg.queue_cap as f64)),
+            ]),
+        ),
+        ("results", Json::Arr(results)),
+    ])
+}
+
+/// Validate a mixed-sweep document: schema tag, exactly one cell per
+/// `backend × shard count × write fraction` the config declares, full
+/// op coverage, coherent op/merge counters and monotone latency
+/// quantiles.
+pub fn verify_mixed(doc: &Json) -> Result<(), String> {
+    if doc.get("schema").and_then(Json::as_str) != Some(MIXED_SCHEMA) {
+        return Err(format!("schema tag is not {MIXED_SCHEMA:?}"));
+    }
+    let config = doc.get("config").ok_or("missing config")?;
+    let backends: Vec<&str> = config
+        .get("backends")
+        .and_then(Json::as_arr)
+        .ok_or("missing config.backends")?
+        .iter()
+        .filter_map(Json::as_str)
+        .collect();
+    for b in &backends {
+        if Backend::from_name(b).is_none() {
+            return Err(format!("unknown backend {b:?} in config"));
+        }
+    }
+    let shard_counts: Vec<usize> = config
+        .get("shard_counts")
+        .and_then(Json::as_arr)
+        .ok_or("missing config.shard_counts")?
+        .iter()
+        .map(|v| v.as_usize().ok_or("non-integer shard count"))
+        .collect::<Result<_, _>>()?;
+    let fractions: Vec<f64> = config
+        .get("write_fractions")
+        .and_then(Json::as_arr)
+        .ok_or("missing config.write_fractions")?
+        .iter()
+        .map(|v| v.as_f64().ok_or("non-numeric write fraction"))
+        .collect::<Result<_, _>>()?;
+    if backends.is_empty() || shard_counts.is_empty() || fractions.is_empty() {
+        return Err("empty sweep axes".into());
+    }
+    for &f in &fractions {
+        if !(0.0..=1.0).contains(&f) {
+            return Err(format!("write fraction {f} outside [0, 1]"));
+        }
+    }
+    let expected_requests = config
+        .get("clients")
+        .and_then(Json::as_usize)
+        .ok_or("missing config.clients")?
+        * config
+            .get("requests_per_client")
+            .and_then(Json::as_usize)
+            .ok_or("missing config.requests_per_client")?;
+    let results = doc
+        .get("results")
+        .and_then(Json::as_arr)
+        .ok_or("missing results")?;
+    for &b in &backends {
+        for &s in &shard_counts {
+            for &f in &fractions {
+                let matching: Vec<&Json> = results
+                    .iter()
+                    .filter(|c| {
+                        c.get("backend").and_then(Json::as_str) == Some(b)
+                            && c.get("shards").and_then(Json::as_usize) == Some(s)
+                            && c.get("write_fraction")
+                                .and_then(Json::as_f64)
+                                .is_some_and(|cf| (cf - f).abs() < 1e-9)
+                    })
+                    .collect();
+                let cell_name = format!("{b}/shards={s}/writes={f}");
+                if matching.len() != 1 {
+                    return Err(format!(
+                        "expected exactly 1 cell for {cell_name}, found {}",
+                        matching.len()
+                    ));
+                }
+                let cell = matching[0];
+                let count = |key: &str| cell.get(key).and_then(Json::as_f64).unwrap_or(-1.0);
+                let rate = count("throughput_rps");
+                if !(rate.is_finite() && rate > 0.0) {
+                    return Err(format!("non-positive throughput for {cell_name}"));
+                }
+                let (gets, puts, removes) = (count("gets"), count("puts"), count("removes"));
+                if count("requests") != expected_requests as f64
+                    || gets + puts + removes != expected_requests as f64
+                {
+                    return Err(format!(
+                        "cell {cell_name} did not answer all {expected_requests} requests"
+                    ));
+                }
+                if f == 0.0 && (puts != 0.0 || removes != 0.0 || count("merges") != 0.0) {
+                    return Err(format!(
+                        "read-only cell {cell_name} recorded writes or merges"
+                    ));
+                }
+                if count("hits") > gets || count("cache_hits") > gets {
+                    return Err(format!("cell {cell_name} hit counters exceed reads"));
+                }
+                let (p50, p95, p99) = (count("p50_ns"), count("p95_ns"), count("p99_ns"));
+                if !(0.0 <= p50 && p50 <= p95 && p95 <= p99) {
+                    return Err(format!(
+                        "non-monotone latency quantiles for {cell_name}: \
+                         p50={p50} p95={p95} p99={p99}"
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Parse a result file and validate it against whichever of the two
+/// serve schemas its tag declares.
+pub fn verify_any_text(text: &str) -> Result<(), String> {
+    let doc = json::parse(text).map_err(|e| format!("JSON parse error: {e}"))?;
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(SCHEMA) => verify(&doc),
+        Some(MIXED_SCHEMA) => verify_mixed(&doc),
+        Some(other) => Err(format!("unknown schema tag {other:?}")),
+        None => Err("missing schema tag".into()),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -502,6 +966,57 @@ mod tests {
         let doc = to_json(&cfg, &cells);
         verify(&doc).expect("self-produced document must verify");
         verify_text(&doc.to_pretty()).expect("round-trip verify");
+    }
+
+    fn tiny_mixed_cfg() -> MixedBenchCfg {
+        MixedBenchCfg {
+            backends: Backend::ALL.to_vec(),
+            shard_counts: vec![1, 2],
+            write_fractions: vec![0.0, 0.25],
+            store_keys: 512,
+            clients: 2,
+            requests_per_client: 64,
+            merge_threshold: 16,
+            hot_cache_slots: 16,
+            policy: PolicySpec {
+                max_batch: 8,
+                max_wait_us: 100,
+            },
+            group: 4,
+            queue_cap: 64,
+        }
+    }
+
+    #[test]
+    fn mixed_sweep_produces_a_cell_per_combination_and_verifies() {
+        let cfg = tiny_mixed_cfg();
+        let cells = run_mixed_sweep(&cfg, |_| {});
+        assert_eq!(cells.len(), 3 * 2 * 2);
+        for c in &cells {
+            assert_eq!(c.requests, 128);
+            assert_eq!(c.gets + c.puts + c.removes, 128);
+            if c.write_fraction == 0.0 {
+                assert_eq!(c.puts + c.removes, 0);
+                assert_eq!(c.merges, 0);
+            } else {
+                // A quarter of 128 ops are writes: with threshold 16
+                // at least one shard must have merged.
+                assert!(c.puts + c.removes > 0);
+            }
+        }
+        let doc = to_mixed_json(&cfg, &cells);
+        verify_mixed(&doc).expect("self-produced mixed document must verify");
+        verify_any_text(&doc.to_pretty()).expect("round-trip verify via schema dispatch");
+    }
+
+    #[test]
+    fn verify_any_dispatches_on_schema_tag() {
+        let cfg = tiny_cfg();
+        let cells = run_sweep(&cfg, |_| {});
+        let doc = to_json(&cfg, &cells);
+        verify_any_text(&doc.to_pretty()).expect("plain serve schema dispatch");
+        assert!(verify_mixed(&doc).is_err(), "schema tags must not cross");
+        assert!(verify_any_text("{\"schema\": \"bogus/v9\"}").is_err());
     }
 
     #[test]

@@ -39,6 +39,9 @@
 //! * [`policy`] — the shared [`Interleave`](policy::Interleave)
 //!   execution-policy type (sequential vs interleaved-with-group-size)
 //!   used by every operator in the workspace.
+//! * [`epoch`] — the [`EpochCell`](epoch::EpochCell) versioned-`Arc`
+//!   swap the writable serving layer publishes merged shard versions
+//!   through (readers snapshot, writers swap, nobody blocks long).
 //! * [`stats`] — cycle/wall measurement helpers and the log-bucketed
 //!   [`LatencyHist`](stats::LatencyHist) used by the serving layer.
 //!
@@ -95,6 +98,7 @@
 //! ```
 
 pub mod coro;
+pub mod epoch;
 pub mod mem;
 pub mod model;
 pub mod par;
@@ -104,6 +108,7 @@ pub mod sched;
 pub mod stats;
 
 pub use coro::{suspend, CoroHandle, Suspend};
+pub use epoch::EpochCell;
 pub use mem::{DirectMem, IndexedMem};
 pub use model::{optimal_group_size, StreamParams};
 pub use par::{run_interleaved_par, DisjointOut, MorselCursor, ParConfig};

@@ -1,29 +1,44 @@
-//! # isi-serve — a sharded, admission-batched lookup service
+//! # isi-serve — a sharded, writable, admission-batched lookup service
 //!
 //! The paper shows that interleaving instruction streams hides the
 //! cache-miss latency of index lookups — but only when lookups arrive
 //! in *batches*. A serving workload delivers the opposite shape: many
-//! concurrent clients, each holding exactly one key. This crate closes
-//! the gap with the production pattern the batch-only APIs were
-//! missing:
+//! concurrent clients, each holding one key, some of them writing.
+//! This crate closes the gap with the production pattern the
+//! batch-only APIs were missing:
 //!
 //! 1. **Shard** — a [`ShardedStore`](store::ShardedStore)
-//!    hash-partitions the data across power-of-two shards, each an
-//!    independent index (sorted column, CSB+-tree, or chained hash
-//!    table) servable by the existing bulk interleaved drivers.
+//!    hash-partitions the data across power-of-two shards. Each shard
+//!    is a **Main/Delta pair**: an immutable main index (sorted
+//!    column, CSB+-tree, or chained hash table) servable by the bulk
+//!    interleaved drivers, plus a small sorted-run delta of upserts
+//!    and tombstones (last-write-wins) consulted after the main batch
+//!    resolves. When a delta reaches
+//!    [`StoreConfig::merge_threshold`](store::StoreConfig), a merge
+//!    rebuilds the shard's main and publishes it through an
+//!    [`EpochCell`](isi_core::epoch::EpochCell) swap — in-flight
+//!    batches finish on the version they started with, and writers
+//!    never block readers.
 //! 2. **Admit & batch** — a [`LookupService`](service::LookupService)
-//!    runs one dispatcher per shard; client `get` calls enqueue a key
-//!    into the owning shard's bounded admission queue (blocking when
-//!    full — backpressure) and wait on a ticket.
+//!    runs one dispatcher per shard; `get`/`put`/`remove` enqueue into
+//!    the owning shard's bounded admission queue (blocking when full —
+//!    backpressure) and wait on a ticket, while
+//!    [`get_many`](service::LookupService::get_many) pre-partitions a
+//!    key slice client-side and submits one entry per shard. Per-shard
+//!    FIFO gives every client read-your-writes.
 //! 3. **Dispatch** — the dispatcher flushes a batch when `max_batch`
-//!    requests are queued or the oldest has waited `max_wait`
-//!    ([`BatchPolicy`](service::BatchPolicy)), drives it through the
-//!    morsel-parallel interleaved engine ([`isi_core::par`]), and
-//!    routes each result back through its ticket.
-//! 4. **Measure** — per-request latency (admission → response) lands
-//!    in a log-bucketed [`LatencyHist`](isi_core::stats::LatencyHist),
-//!    so the batching-vs-latency trade-off the policy dials is
-//!    observable (p50/p95/p99).
+//!    entries are queued or the oldest has waited `max_wait`
+//!    ([`BatchPolicy`](service::BatchPolicy)), drives consecutive
+//!    reads through the morsel-parallel interleaved engine
+//!    ([`isi_core::par`]), applies writes in admission order between
+//!    read runs, and routes each result back through its ticket. An
+//!    optional per-shard hot-key cache answers repeat `get`s without
+//!    dispatch and is invalidated by the write path.
+//! 4. **Measure** — per-entry latency (admission → response) lands in
+//!    a log-bucketed [`LatencyHist`](isi_core::stats::LatencyHist),
+//!    and [`ServeStats`](service::ServeStats) adds write, cache,
+//!    delta-size and merge-latency counters, so both dials the system
+//!    exposes (flush policy, merge threshold) are observable.
 //!
 //! ```
 //! use isi_serve::{Backend, LookupService, ServeConfig, ShardedStore};
@@ -32,15 +47,24 @@
 //! let store = ShardedStore::build(Backend::Csb, 4, &pairs);
 //! let svc = LookupService::start(store, ServeConfig::default());
 //!
-//! // Any number of client threads may call `get` concurrently; each
-//! // request rides an interleaved batch.
+//! // Any number of client threads may call these concurrently; each
+//! // request rides an interleaved batch on its shard.
 //! assert_eq!(svc.get(84), Some(42));
-//! assert_eq!(svc.get(85), None);
-//! assert_eq!(svc.stats().requests, 2);
+//! assert_eq!(svc.put(84, 7), Some(42)); // upsert, returns previous
+//! assert_eq!(svc.get(84), Some(7)); // read-your-writes
+//! assert_eq!(svc.remove(85), None);
+//!
+//! // Multi-key lookup: partitioned by shard client-side, one
+//! // admission entry per shard, results in input order.
+//! assert_eq!(
+//!     svc.get_many(&[84, 2, 3]),
+//!     vec![Some(7), Some(1), None],
+//! );
+//! assert_eq!(svc.stats().many_keys, 3);
 //! ```
 
 pub mod service;
 pub mod store;
 
 pub use service::{BatchPolicy, LookupService, ServeConfig, ServeStats};
-pub use store::{Backend, ShardedStore};
+pub use store::{Backend, ShardedStore, StoreConfig};

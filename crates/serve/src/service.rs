@@ -1,16 +1,34 @@
 //! [`LookupService`]: the request lifecycle — admission, batching,
-//! dispatch, response routing, metrics.
+//! dispatch, writes, response routing, metrics.
 //!
 //! The paper's interleaving only pays off when lookups arrive in
 //! batches large enough to keep a miss in flight per stream; a serving
 //! workload instead delivers many small concurrent requests. This
 //! module closes that gap with **admission batching**: each shard owns
-//! a bounded queue; client threads enqueue one key and block on a
-//! ticket; a per-shard dispatcher thread coalesces queued requests and
-//! flushes a batch when either `max_batch` requests are waiting or the
-//! oldest has waited `max_wait` — whichever comes first — then drives
-//! the whole batch through the morsel-parallel interleaved engine and
+//! a bounded queue; client threads enqueue one operation and block on
+//! a ticket; a per-shard dispatcher thread coalesces queued entries
+//! and flushes a batch when either `max_batch` entries are waiting or
+//! the oldest has waited `max_wait` — whichever comes first — then
+//! drives the reads through the morsel-parallel interleaved engine and
 //! routes results back through the tickets.
+//!
+//! **Writes ride the same queues.** `put`/`remove` enqueue on the
+//! owning shard alongside reads, and the dispatcher preserves FIFO
+//! order within a batch: consecutive reads form engine runs, writes
+//! apply in admission order between runs. One client's `put` therefore
+//! happens-before its next `get` of the same key (read-your-writes per
+//! client), and all mutation of a shard funnels through its one
+//! dispatcher thread.
+//!
+//! **`get_many`** pre-partitions a key slice by shard on the client
+//! side and submits one admission entry per shard, so an n-key lookup
+//! costs one queue round-trip per touched shard instead of n — the
+//! client manufactures the batch the engine wants.
+//!
+//! An optional per-shard **hot-key cache** sits in front of the
+//! admission queue: a tiny direct-mapped map filled by the dispatcher
+//! with single-`get` results and invalidated by the write path before
+//! a write is acknowledged. A hit answers without dispatch.
 //!
 //! The flush policy is the latency/throughput dial: large `max_batch`
 //! with generous `max_wait` amortizes interleaving best (high
@@ -20,6 +38,7 @@
 //! log-bucketed [`LatencyHist`] so that trade-off is observable.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -28,20 +47,21 @@ use isi_core::par::ParConfig;
 use isi_core::policy::Interleave;
 use isi_core::sched::RunStats;
 use isi_core::stats::LatencyHist;
+use isi_hash::table::HashKey;
 
 use crate::store::ShardedStore;
 
 /// When a shard's dispatcher flushes its admission queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BatchPolicy {
-    /// Flush as soon as this many requests are queued.
+    /// Flush as soon as this many entries are queued.
     pub max_batch: usize,
-    /// Flush when the oldest queued request has waited this long.
+    /// Flush when the oldest queued entry has waited this long.
     pub max_wait: Duration,
 }
 
 impl Default for BatchPolicy {
-    /// 64-request batches, 1 ms ceiling on queueing delay.
+    /// 64-entry batches, 1 ms ceiling on queueing delay.
     fn default() -> Self {
         Self {
             max_batch: 64,
@@ -57,13 +77,17 @@ pub struct ServeConfig {
     pub policy: Interleave,
     /// Flush policy for each shard's admission queue.
     pub batch: BatchPolicy,
-    /// Per-shard admission-queue bound; `get` blocks when the owning
+    /// Per-shard admission-queue bound; requests block when the owning
     /// shard's queue is full (backpressure).
     pub queue_cap: usize,
     /// Morsel-engine configuration for each dispatched batch. The
     /// default is one worker per dispatch (the dispatcher thread
     /// itself); raise `threads` only when shards outnumber cores.
     pub par: ParConfig,
+    /// Per-shard hot-key cache slots; 0 disables the cache. A hit
+    /// answers a `get` without admission; the write path invalidates
+    /// a key's slot before the write is acknowledged.
+    pub hot_cache_slots: usize,
 }
 
 impl Default for ServeConfig {
@@ -73,26 +97,19 @@ impl Default for ServeConfig {
             batch: BatchPolicy::default(),
             queue_cap: 1024,
             par: ParConfig::with_threads(1),
+            hot_cache_slots: 0,
         }
     }
 }
 
-/// One queued request: the key, its admission time, and the ticket the
-/// caller is blocked on.
-struct Request {
-    key: u64,
-    enqueued: Instant,
-    ticket: Arc<Ticket>,
-}
-
 /// A one-shot response slot; the caller blocks on `wait`, the
 /// dispatcher fills it with `fulfill`.
-struct Ticket {
-    slot: Mutex<Option<Option<u64>>>,
+struct Ticket<T> {
+    slot: Mutex<Option<T>>,
     ready: Condvar,
 }
 
-impl Ticket {
+impl<T> Ticket<T> {
     fn new() -> Self {
         Self {
             slot: Mutex::new(None),
@@ -100,15 +117,15 @@ impl Ticket {
         }
     }
 
-    fn fulfill(&self, result: Option<u64>) {
+    fn fulfill(&self, result: T) {
         *self.slot.lock().unwrap() = Some(result);
         self.ready.notify_one();
     }
 
-    fn wait(&self) -> Option<u64> {
+    fn wait(&self) -> T {
         let mut slot = self.slot.lock().unwrap();
         loop {
-            if let Some(result) = *slot {
+            if let Some(result) = slot.take() {
                 return result;
             }
             slot = self.ready.wait(slot).unwrap();
@@ -116,9 +133,83 @@ impl Ticket {
     }
 }
 
+/// The ticket type of one shard's `get_many` slice: one result per
+/// submitted key, in submission order.
+type ManyTicket = Arc<Ticket<Vec<Option<u64>>>>;
+
+/// One queued operation.
+enum Op {
+    Get {
+        key: u64,
+        ticket: Arc<Ticket<Option<u64>>>,
+    },
+    Put {
+        key: u64,
+        val: u64,
+        ticket: Arc<Ticket<Option<u64>>>,
+    },
+    Remove {
+        key: u64,
+        ticket: Arc<Ticket<Option<u64>>>,
+    },
+    /// One shard's slice of a client `get_many` call: all keys route
+    /// to this shard; the ticket receives one result per key, in key
+    /// order.
+    GetMany { keys: Vec<u64>, ticket: ManyTicket },
+}
+
+/// One admission entry: the operation and its admission time.
+struct Entry {
+    op: Op,
+    enqueued: Instant,
+}
+
+/// The hot-key result cache: direct-mapped, one `(key, result)` pair
+/// per slot. Only the shard's dispatcher thread mutates it (inserts
+/// after a read run, invalidates when applying a write), so its
+/// contents always reflect a prefix of the shard's serialized
+/// operation order; clients only probe.
+struct HotCache {
+    slots: Vec<Option<(u64, Option<u64>)>>,
+}
+
+impl HotCache {
+    fn new(slots: usize) -> Self {
+        Self {
+            slots: vec![None; slots],
+        }
+    }
+
+    /// Slot index: hash bits 16.. keep the map independent of both
+    /// shard routing (top bits) and hash-backend bucketing (bits 32..
+    /// of the same hash, which matter only inside the backend).
+    #[inline]
+    fn idx(&self, key: u64) -> usize {
+        (key.hash64() >> 16) as usize % self.slots.len()
+    }
+
+    fn probe(&self, key: u64) -> Option<Option<u64>> {
+        self.slots[self.idx(key)]
+            .filter(|&(k, _)| k == key)
+            .map(|(_, result)| result)
+    }
+
+    fn insert(&mut self, key: u64, result: Option<u64>) {
+        let i = self.idx(key);
+        self.slots[i] = Some((key, result));
+    }
+
+    fn invalidate(&mut self, key: u64) {
+        let i = self.idx(key);
+        if self.slots[i].is_some_and(|(k, _)| k == key) {
+            self.slots[i] = None;
+        }
+    }
+}
+
 /// Mutable queue state behind each shard's mutex.
 struct QueueState {
-    reqs: VecDeque<Request>,
+    reqs: VecDeque<Entry>,
     open: bool,
 }
 
@@ -130,38 +221,66 @@ struct ShardState {
     /// Producers wait here for queue space (backpressure).
     space: Condvar,
     metrics: Mutex<ShardMetrics>,
+    /// Outside the metrics mutex so the client cache-hit fast path
+    /// never contends with a dispatching batch.
+    cache_hits: AtomicU64,
+    /// `None` when `hot_cache_slots == 0`.
+    cache: Option<Mutex<HotCache>>,
 }
 
 #[derive(Default)]
 struct ShardMetrics {
     hist: LatencyHist,
     requests: u64,
+    gets: u64,
+    puts: u64,
+    removes: u64,
+    many_keys: u64,
     batches: u64,
     full_flushes: u64,
     timeout_flushes: u64,
     engine: RunStats,
 }
 
-/// Aggregated service metrics (summed over shards).
+/// Aggregated service metrics (summed over shards, plus the store's
+/// write-side counters).
 #[derive(Debug, Clone, Default)]
 pub struct ServeStats {
-    /// Requests answered.
+    /// Admission entries answered (a `get_many` call counts one per
+    /// shard it touched). Cache hits are *not* admitted and are
+    /// counted separately.
     pub requests: u64,
-    /// Batches dispatched to the engine.
+    /// Single-key reads answered via dispatch.
+    pub gets: u64,
+    /// Upserts applied.
+    pub puts: u64,
+    /// Removes applied.
+    pub removes: u64,
+    /// Keys answered through `get_many` entries.
+    pub many_keys: u64,
+    /// `get`s answered by the hot-key cache, without admission.
+    pub cache_hits: u64,
+    /// Batches dispatched.
     pub batches: u64,
     /// Batches flushed because `max_batch` was reached.
     pub full_flushes: u64,
     /// Batches flushed by the `max_wait` deadline (or drained at
     /// close).
     pub timeout_flushes: u64,
-    /// Per-request latency (enqueue → response routed), nanoseconds.
+    /// Per-entry latency (enqueue → response routed), nanoseconds.
     pub latency: LatencyHist,
     /// Merged interleaved-engine counters across all dispatches.
     pub engine: RunStats,
+    /// Delta-to-main merges performed by the store since build.
+    pub merges: u64,
+    /// Merge wall latency (nanoseconds).
+    pub merge_latency: LatencyHist,
+    /// Current delta entries across all shards of the store.
+    pub delta_keys: u64,
 }
 
 impl ServeStats {
-    /// Mean requests per dispatched batch.
+    /// Mean entries per dispatched batch.
     pub fn mean_batch(&self) -> f64 {
         if self.batches == 0 {
             0.0
@@ -171,26 +290,39 @@ impl ServeStats {
     }
 }
 
-/// A multi-tenant point-lookup service over a [`ShardedStore`].
+/// A multi-tenant read/write point-lookup service over a
+/// [`ShardedStore`].
 ///
-/// `get` is safe to call from any number of threads; each call blocks
-/// until its batch is dispatched and answered. Dropping the service
-/// drains queued requests, answers them, and joins the dispatchers.
+/// `get`, `get_many`, `put` and `remove` are safe to call from any
+/// number of threads; each call blocks until its batch is dispatched
+/// and answered. Per shard, operations apply in admission order, so a
+/// client that completed a `put` observes it in every later read it
+/// issues (read-your-writes per client). Dropping the service drains
+/// queued entries, answers them, and joins the dispatchers.
 ///
 /// # Panics
-/// `get` panics if called after [`close`](Self::close); callers must
-/// not race `get` against `close`.
+/// All request methods panic if called after [`close`](Self::close);
+/// callers must not race requests against `close`.
 pub struct LookupService {
     store: Arc<ShardedStore>,
     shards: Vec<Arc<ShardState>>,
     cfg: ServeConfig,
     dispatchers: Vec<JoinHandle<()>>,
+    /// Set by `close`; request paths that can answer without touching
+    /// an admission queue (cache hits, empty `get_many`) check it so
+    /// the use-after-close panic contract holds on every entry point.
+    closed: std::sync::atomic::AtomicBool,
 }
 
 impl LookupService {
     /// Start one dispatcher thread per shard of `store`. Accepts the
-    /// store by value or as an `Arc` (so one immutable store can back
-    /// several service instances, e.g. across benchmark cells).
+    /// store by value or as an `Arc`.
+    ///
+    /// With an `Arc`, other holders may keep calling the store's read
+    /// API (epoch snapshots keep that consistent), but they must not
+    /// write to it directly — the service's read-your-writes and
+    /// cache-invalidation guarantees hold only for writes that go
+    /// through the service.
     ///
     /// # Panics
     /// Panics if `queue_cap` or `max_batch` is 0.
@@ -208,6 +340,9 @@ impl LookupService {
                     work: Condvar::new(),
                     space: Condvar::new(),
                     metrics: Mutex::new(ShardMetrics::default()),
+                    cache_hits: AtomicU64::new(0),
+                    cache: (cfg.hot_cache_slots > 0)
+                        .then(|| Mutex::new(HotCache::new(cfg.hot_cache_slots))),
                 })
             })
             .collect();
@@ -228,7 +363,16 @@ impl LookupService {
             shards,
             cfg,
             dispatchers,
+            closed: std::sync::atomic::AtomicBool::new(false),
         }
+    }
+
+    /// Panic if `close` already ran (requests must not outlive it).
+    fn assert_open(&self) {
+        assert!(
+            !self.closed.load(Ordering::Relaxed),
+            "request on a closed LookupService"
+        );
     }
 
     /// The underlying store.
@@ -241,53 +385,153 @@ impl LookupService {
         &self.cfg
     }
 
-    /// Look up one key: enqueue on the owning shard, block until the
-    /// dispatcher answers. Applies backpressure — blocks while the
-    /// shard's queue holds `queue_cap` requests.
-    pub fn get(&self, key: u64) -> Option<u64> {
-        let state = &self.shards[self.store.shard_of(key)];
-        let ticket = Arc::new(Ticket::new());
-        {
-            let mut q = state.q.lock().unwrap();
-            loop {
-                assert!(q.open, "LookupService::get on a closed service");
-                if q.reqs.len() < self.cfg.queue_cap {
-                    break;
-                }
-                q = state.space.wait(q).unwrap();
+    /// Enqueue `op` on `shard`'s admission queue, blocking while the
+    /// queue holds `queue_cap` entries (backpressure).
+    fn enqueue(&self, shard: usize, op: Op) {
+        let state = &self.shards[shard];
+        let mut q = state.q.lock().unwrap();
+        loop {
+            assert!(q.open, "request on a closed LookupService");
+            if q.reqs.len() < self.cfg.queue_cap {
+                break;
             }
-            q.reqs.push_back(Request {
-                key,
-                enqueued: Instant::now(),
-                ticket: Arc::clone(&ticket),
-            });
-            // Wake the dispatcher when the batch fills, and on the
-            // first request so it arms the max_wait deadline.
-            if q.reqs.len() == 1 || q.reqs.len() >= self.cfg.batch.max_batch {
-                state.work.notify_one();
-            }
+            q = state.space.wait(q).unwrap();
         }
+        q.reqs.push_back(Entry {
+            op,
+            enqueued: Instant::now(),
+        });
+        // Wake the dispatcher when the batch fills, and on the first
+        // entry so it arms the max_wait deadline.
+        if q.reqs.len() == 1 || q.reqs.len() >= self.cfg.batch.max_batch {
+            state.work.notify_one();
+        }
+    }
+
+    /// Look up one key: enqueue on the owning shard, block until the
+    /// dispatcher answers. A hot-key cache hit (if the cache is
+    /// enabled) answers immediately without admission.
+    pub fn get(&self, key: u64) -> Option<u64> {
+        self.assert_open();
+        let shard = self.store.shard_of(key);
+        let cached = self.shards[shard]
+            .cache
+            .as_ref()
+            .and_then(|cache| cache.lock().unwrap().probe(key));
+        if let Some(result) = cached {
+            self.shards[shard]
+                .cache_hits
+                .fetch_add(1, Ordering::Relaxed);
+            return result;
+        }
+        let ticket = Arc::new(Ticket::new());
+        self.enqueue(
+            shard,
+            Op::Get {
+                key,
+                ticket: Arc::clone(&ticket),
+            },
+        );
         ticket.wait()
     }
 
-    /// Aggregated metrics over all shards (latency histograms merged).
+    /// Look up many keys with one admission entry per owning shard:
+    /// the slice is partitioned client-side, each shard's sub-batch
+    /// rides its dispatcher once, and the results come back in `keys`
+    /// order. Far cheaper than n `get` calls for multi-key requests —
+    /// the client pre-forms the batch the engine wants.
+    pub fn get_many(&self, keys: &[u64]) -> Vec<Option<u64>> {
+        self.assert_open();
+        let mut results = vec![None; keys.len()];
+        if keys.is_empty() {
+            return results;
+        }
+        // positions[s] = indices into `keys` owned by shard s.
+        let mut positions: Vec<Vec<usize>> = vec![Vec::new(); self.store.num_shards()];
+        for (i, &k) in keys.iter().enumerate() {
+            positions[self.store.shard_of(k)].push(i);
+        }
+        let mut waits: Vec<(usize, ManyTicket)> = Vec::new();
+        for (shard, idxs) in positions.iter().enumerate() {
+            if idxs.is_empty() {
+                continue;
+            }
+            let ticket = Arc::new(Ticket::new());
+            self.enqueue(
+                shard,
+                Op::GetMany {
+                    keys: idxs.iter().map(|&i| keys[i]).collect(),
+                    ticket: Arc::clone(&ticket),
+                },
+            );
+            waits.push((shard, ticket));
+        }
+        for (shard, ticket) in waits {
+            for (&i, v) in positions[shard].iter().zip(ticket.wait()) {
+                results[i] = v;
+            }
+        }
+        results
+    }
+
+    /// Upsert `key = val` through the owning shard's queue; blocks
+    /// until applied and returns the previously visible value.
+    pub fn put(&self, key: u64, val: u64) -> Option<u64> {
+        let ticket = Arc::new(Ticket::new());
+        self.enqueue(
+            self.store.shard_of(key),
+            Op::Put {
+                key,
+                val,
+                ticket: Arc::clone(&ticket),
+            },
+        );
+        ticket.wait()
+    }
+
+    /// Remove `key` through the owning shard's queue; blocks until
+    /// applied and returns the value it held, if any.
+    pub fn remove(&self, key: u64) -> Option<u64> {
+        let ticket = Arc::new(Ticket::new());
+        self.enqueue(
+            self.store.shard_of(key),
+            Op::Remove {
+                key,
+                ticket: Arc::clone(&ticket),
+            },
+        );
+        ticket.wait()
+    }
+
+    /// Aggregated metrics over all shards (latency histograms merged),
+    /// plus the store's merge/delta counters.
     pub fn stats(&self) -> ServeStats {
         let mut total = ServeStats::default();
         for state in &self.shards {
             let m = state.metrics.lock().unwrap();
             total.requests += m.requests;
+            total.gets += m.gets;
+            total.puts += m.puts;
+            total.removes += m.removes;
+            total.many_keys += m.many_keys;
+            total.cache_hits += state.cache_hits.load(Ordering::Relaxed);
             total.batches += m.batches;
             total.full_flushes += m.full_flushes;
             total.timeout_flushes += m.timeout_flushes;
             total.latency.merge(&m.hist);
             total.engine.merge(&m.engine);
         }
+        total.merges = self.store.merges();
+        total.merge_latency = self.store.merge_latency();
+        total.delta_keys = self.store.delta_len() as u64;
         total
     }
 
-    /// Stop accepting requests, answer everything still queued, and
-    /// join the dispatchers. Idempotent; also run by `Drop`.
+    /// Stop accepting requests, answer everything still queued
+    /// (including writes, which are applied in order), and join the
+    /// dispatchers. Idempotent; also run by `Drop`.
     pub fn close(&mut self) {
+        self.closed.store(true, Ordering::Relaxed);
         for state in &self.shards {
             let mut q = state.q.lock().unwrap();
             q.open = false;
@@ -306,14 +550,30 @@ impl Drop for LookupService {
     }
 }
 
+/// Reusable dispatch buffers (one set per dispatcher thread).
+struct DispatchBufs {
+    batch: Vec<Entry>,
+    /// Keys of the current read run.
+    run_keys: Vec<u64>,
+    /// `(entry index, start offset in run_keys, key count)` per read
+    /// entry of the current run.
+    run_spans: Vec<(usize, usize, usize)>,
+    out: Vec<Option<u64>>,
+    scratch: Vec<u32>,
+}
+
 /// The per-shard dispatcher: wait for work, flush on `max_batch` or
-/// `max_wait`, run the batch through the interleaved engine, route
+/// `max_wait`, execute the batch FIFO (read runs through the
+/// interleaved engine, writes in admission order between runs), route
 /// responses, record latency.
 fn dispatch_loop(store: &ShardedStore, shard: usize, state: &ShardState, cfg: ServeConfig) {
-    let mut batch: Vec<Request> = Vec::with_capacity(cfg.batch.max_batch);
-    let mut keys: Vec<u64> = Vec::with_capacity(cfg.batch.max_batch);
-    let mut scratch: Vec<u32> = Vec::new();
-    let mut out: Vec<Option<u64>> = Vec::with_capacity(cfg.batch.max_batch);
+    let mut bufs = DispatchBufs {
+        batch: Vec::with_capacity(cfg.batch.max_batch),
+        run_keys: Vec::with_capacity(cfg.batch.max_batch),
+        run_spans: Vec::with_capacity(cfg.batch.max_batch),
+        out: Vec::with_capacity(cfg.batch.max_batch),
+        scratch: Vec::new(),
+    };
     let mut q = state.q.lock().unwrap();
     loop {
         if q.reqs.is_empty() {
@@ -326,7 +586,7 @@ fn dispatch_loop(store: &ShardedStore, shard: usize, state: &ShardState, cfg: Se
         let full = q.reqs.len() >= cfg.batch.max_batch;
         if !full && q.open {
             // Ragged batch on an open queue: wait out the residual
-            // max_wait of the oldest request (more requests may land
+            // max_wait of the oldest entry (more requests may land
             // and fill the batch; a closed queue drains immediately).
             let deadline = q.reqs[0].enqueued + cfg.batch.max_wait;
             let now = Instant::now();
@@ -336,40 +596,139 @@ fn dispatch_loop(store: &ShardedStore, shard: usize, state: &ShardState, cfg: Se
             }
         }
         let n = q.reqs.len().min(cfg.batch.max_batch);
-        batch.clear();
-        batch.extend(q.reqs.drain(..n));
+        bufs.batch.clear();
+        bufs.batch.extend(q.reqs.drain(..n));
         state.space.notify_all();
         drop(q);
 
-        keys.clear();
-        keys.extend(batch.iter().map(|r| r.key));
-        out.clear();
-        out.resize(n, None);
-        let engine = store.lookup_batch(shard, &keys, cfg.policy, cfg.par, &mut scratch, &mut out);
+        execute_batch(store, shard, state, cfg, &mut bufs, full);
 
+        q = state.q.lock().unwrap();
+    }
+}
+
+/// Execute one drained batch in admission order: maximal runs of
+/// consecutive reads go through the interleaved engine as one batch;
+/// writes apply one at a time between runs (each invalidating its
+/// hot-cache slot *before* its ticket is fulfilled).
+///
+/// Counter updates and the corresponding ticket fulfillments happen
+/// under one metrics-lock acquisition, so the moment a caller's wait
+/// returns, [`LookupService::stats`] already includes its request.
+/// The lock is *not* held across engine runs or store writes (a write
+/// can trigger a whole-shard merge rebuild), so a monitoring thread
+/// reading stats never blocks behind the slow work itself.
+fn execute_batch(
+    store: &ShardedStore,
+    shard: usize,
+    state: &ShardState,
+    cfg: ServeConfig,
+    bufs: &mut DispatchBufs,
+    full: bool,
+) {
+    // Count the flush up front: no ticket from this batch can resolve
+    // before the batch itself is visible in the stats.
+    {
         let mut m = state.metrics.lock().unwrap();
-        for (req, &result) in batch.iter().zip(&out) {
-            req.ticket.fulfill(result);
-            m.hist.record(req.enqueued.elapsed().as_nanos() as u64);
-        }
-        m.requests += n as u64;
         m.batches += 1;
         if full {
             m.full_flushes += 1;
         } else {
             m.timeout_flushes += 1;
         }
-        m.engine.merge(&engine);
-        drop(m);
-
-        q = state.q.lock().unwrap();
+    }
+    let mut i = 0;
+    while i < bufs.batch.len() {
+        // Collect the maximal read run starting at i.
+        bufs.run_keys.clear();
+        bufs.run_spans.clear();
+        while i < bufs.batch.len() {
+            match &bufs.batch[i].op {
+                Op::Get { key, .. } => {
+                    bufs.run_spans.push((i, bufs.run_keys.len(), 1));
+                    bufs.run_keys.push(*key);
+                }
+                Op::GetMany { keys, .. } => {
+                    bufs.run_spans.push((i, bufs.run_keys.len(), keys.len()));
+                    bufs.run_keys.extend_from_slice(keys);
+                }
+                _ => break,
+            }
+            i += 1;
+        }
+        if !bufs.run_keys.is_empty() {
+            bufs.out.clear();
+            bufs.out.resize(bufs.run_keys.len(), None);
+            let engine = store.lookup_batch(
+                shard,
+                &bufs.run_keys,
+                cfg.policy,
+                cfg.par,
+                &mut bufs.scratch,
+                &mut bufs.out,
+            );
+            // Fill the cache before fulfilling: the dispatcher is the
+            // only mutator of this shard, so these results are current
+            // until the next write it applies.
+            if let Some(cache) = &state.cache {
+                let mut cache = cache.lock().unwrap();
+                for &(ei, start, _) in &bufs.run_spans {
+                    if let Op::Get { key, .. } = &bufs.batch[ei].op {
+                        cache.insert(*key, bufs.out[start]);
+                    }
+                }
+            }
+            let mut m = state.metrics.lock().unwrap();
+            m.engine.merge(&engine);
+            for &(ei, start, len) in &bufs.run_spans {
+                let entry = &bufs.batch[ei];
+                match &entry.op {
+                    Op::Get { ticket, .. } => {
+                        ticket.fulfill(bufs.out[start]);
+                        m.gets += 1;
+                    }
+                    Op::GetMany { ticket, .. } => {
+                        ticket.fulfill(bufs.out[start..start + len].to_vec());
+                        m.many_keys += len as u64;
+                    }
+                    _ => unreachable!("write in read run"),
+                }
+                m.requests += 1;
+                m.hist.record(entry.enqueued.elapsed().as_nanos() as u64);
+            }
+        }
+        // Apply the writes that ended the run, in admission order.
+        // The store write (which may merge-rebuild the shard) and the
+        // cache invalidation run unlocked; only the counter-update +
+        // fulfill pair takes the metrics lock.
+        while i < bufs.batch.len() {
+            let entry = &bufs.batch[i];
+            let (key, result, ticket, is_put) = match &entry.op {
+                Op::Put { key, val, ticket } => (*key, store.put(*key, *val), ticket, true),
+                Op::Remove { key, ticket } => (*key, store.remove(*key), ticket, false),
+                _ => break,
+            };
+            if let Some(cache) = &state.cache {
+                cache.lock().unwrap().invalidate(key);
+            }
+            let mut m = state.metrics.lock().unwrap();
+            if is_put {
+                m.puts += 1;
+            } else {
+                m.removes += 1;
+            }
+            ticket.fulfill(result);
+            m.requests += 1;
+            m.hist.record(entry.enqueued.elapsed().as_nanos() as u64);
+            i += 1;
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::store::Backend;
+    use crate::store::{Backend, StoreConfig};
 
     fn pairs(n: u64) -> Vec<(u64, u64)> {
         (0..n).map(|i| (i * 2, i)).collect()
@@ -398,6 +757,7 @@ mod tests {
             }
             let stats = svc.stats();
             assert_eq!(stats.requests, 7);
+            assert_eq!(stats.gets, 7);
             assert!(stats.batches >= 1);
             assert_eq!(stats.latency.count(), 7);
             assert!(stats.latency.p99() >= stats.latency.p50());
@@ -518,6 +878,207 @@ mod tests {
         assert_eq!(stats.engine.lookups, 64);
         // Interleaved tree descents switch at least once per lookup.
         assert!(stats.engine.switches >= 64);
+    }
+
+    #[test]
+    fn writes_are_read_your_writes_per_client() {
+        for backend in Backend::ALL {
+            let store = ShardedStore::build_with(
+                backend,
+                2,
+                &pairs(500),
+                StoreConfig { merge_threshold: 4 },
+            );
+            let svc = LookupService::start(
+                store,
+                ServeConfig {
+                    batch: BatchPolicy {
+                        max_batch: 8,
+                        max_wait: Duration::from_micros(100),
+                    },
+                    ..ServeConfig::default()
+                },
+            );
+            // Overwrite, fresh insert, remove — every completed write
+            // is visible to the same client's next read.
+            assert_eq!(svc.put(0, 777), Some(0), "{}", backend.name());
+            assert_eq!(svc.get(0), Some(777));
+            assert_eq!(svc.put(1_000_001, 5), None);
+            assert_eq!(svc.get(1_000_001), Some(5));
+            assert_eq!(svc.remove(2), Some(1));
+            assert_eq!(svc.get(2), None);
+            assert_eq!(svc.remove(2), None);
+            let stats = svc.stats();
+            assert_eq!(stats.puts, 2);
+            assert_eq!(stats.removes, 2);
+            assert_eq!(stats.gets, 3);
+            assert_eq!(stats.requests, 7);
+            // merge_threshold 4: the three effective writes forced at
+            // least one merge across the two shards... only if one
+            // shard saw 4 deltas; with 3 writes no merge is
+            // guaranteed, but the counters must at least be coherent.
+            assert_eq!(stats.merges, svc.store().merges());
+            assert!(stats.delta_keys <= 3);
+        }
+    }
+
+    #[test]
+    fn get_many_partitions_and_restores_order() {
+        for backend in Backend::ALL {
+            let store = ShardedStore::build(backend, 4, &pairs(3000));
+            let svc = LookupService::start(
+                store,
+                ServeConfig {
+                    batch: BatchPolicy {
+                        max_batch: 64,
+                        max_wait: Duration::from_micros(100),
+                    },
+                    ..ServeConfig::default()
+                },
+            );
+            let keys: Vec<u64> = (0..500u64).map(|i| i * 13 % 7000).collect();
+            let got = svc.get_many(&keys);
+            assert_eq!(got.len(), keys.len());
+            for (&k, &r) in keys.iter().zip(&got) {
+                let want = (k.is_multiple_of(2) && k < 6000).then_some(k / 2);
+                assert_eq!(r, want, "{} key={k}", backend.name());
+            }
+            assert_eq!(svc.get_many(&[]), Vec::<Option<u64>>::new());
+            let stats = svc.stats();
+            assert_eq!(stats.many_keys, 500);
+            // One admission entry per touched shard, not per key.
+            assert!(stats.requests <= 4);
+            assert_eq!(stats.engine.lookups, 500);
+        }
+    }
+
+    #[test]
+    fn get_many_sees_prior_writes() {
+        let store = ShardedStore::build_with(
+            Backend::Hash,
+            2,
+            &pairs(100),
+            StoreConfig { merge_threshold: 2 },
+        );
+        let svc = LookupService::start(
+            store,
+            ServeConfig {
+                batch: BatchPolicy {
+                    max_batch: 4,
+                    max_wait: Duration::from_micros(50),
+                },
+                ..ServeConfig::default()
+            },
+        );
+        svc.put(0, 111);
+        svc.put(500_001, 222);
+        svc.remove(4);
+        let got = svc.get_many(&[0, 500_001, 4, 6, 9999]);
+        assert_eq!(got, vec![Some(111), Some(222), None, Some(3), None]);
+    }
+
+    #[test]
+    fn hot_cache_hits_skip_dispatch_and_writes_invalidate() {
+        let store = ShardedStore::build(Backend::Sorted, 2, &pairs(200));
+        let svc = LookupService::start(
+            store,
+            ServeConfig {
+                batch: BatchPolicy {
+                    max_batch: 4,
+                    max_wait: Duration::from_micros(50),
+                },
+                hot_cache_slots: 64,
+                ..ServeConfig::default()
+            },
+        );
+        // First read misses the cache and dispatches; repeats hit.
+        assert_eq!(svc.get(10), Some(5));
+        for _ in 0..5 {
+            assert_eq!(svc.get(10), Some(5));
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.cache_hits, 5);
+        assert_eq!(stats.gets, 1);
+        // A write invalidates before it is acknowledged: the next
+        // read must see the new value, then repopulate the cache.
+        assert_eq!(svc.put(10, 99), Some(5));
+        assert_eq!(svc.get(10), Some(99));
+        assert_eq!(svc.get(10), Some(99));
+        let stats = svc.stats();
+        assert_eq!(stats.gets, 2);
+        assert_eq!(stats.cache_hits, 6);
+        // Misses are cached too.
+        assert_eq!(svc.get(11), None);
+        assert_eq!(svc.get(11), None);
+        assert_eq!(svc.stats().cache_hits, 7);
+    }
+
+    #[test]
+    fn mixed_batch_preserves_fifo_under_concurrency() {
+        // Concurrent clients on disjoint keys: each client's own
+        // sequence of put/get/remove must read its own writes even
+        // while batches mix clients and writes force merges.
+        let store =
+            ShardedStore::build_with(Backend::Csb, 2, &[], StoreConfig { merge_threshold: 3 });
+        let svc = LookupService::start(
+            store,
+            ServeConfig {
+                batch: BatchPolicy {
+                    max_batch: 8,
+                    max_wait: Duration::from_micros(50),
+                },
+                queue_cap: 16,
+                ..ServeConfig::default()
+            },
+        );
+        std::thread::scope(|scope| {
+            for c in 0..4u64 {
+                let svc = &svc;
+                scope.spawn(move || {
+                    for i in 0..40u64 {
+                        let key = c + i * 4; // disjoint per client
+                        assert_eq!(svc.put(key, i), None);
+                        assert_eq!(svc.get(key), Some(i));
+                        assert_eq!(svc.remove(key), Some(i));
+                        assert_eq!(svc.get(key), None);
+                    }
+                });
+            }
+        });
+        let stats = svc.stats();
+        assert_eq!(stats.requests, 4 * 40 * 4);
+        assert_eq!(stats.puts, 160);
+        assert_eq!(stats.removes, 160);
+        assert!(stats.merges > 0);
+        assert!(svc.store().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "closed LookupService")]
+    fn cache_hit_after_close_still_panics() {
+        // The hot-cache fast path must honor the use-after-close
+        // contract even though it never touches an admission queue.
+        let store = ShardedStore::build(Backend::Sorted, 1, &pairs(10));
+        let mut svc = LookupService::start(
+            store,
+            ServeConfig {
+                hot_cache_slots: 8,
+                ..ServeConfig::default()
+            },
+        );
+        assert_eq!(svc.get(2), Some(1));
+        assert_eq!(svc.get(2), Some(1)); // cached now
+        svc.close();
+        let _ = svc.get(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "closed LookupService")]
+    fn empty_get_many_after_close_panics() {
+        let store = ShardedStore::build(Backend::Sorted, 1, &pairs(10));
+        let mut svc = LookupService::start(store, ServeConfig::default());
+        svc.close();
+        let _ = svc.get_many(&[]);
     }
 
     #[test]

@@ -1,16 +1,28 @@
-//! [`ShardedStore`]: a hash-partitioned key/value store whose shards
-//! are served by the existing bulk index drivers.
+//! [`ShardedStore`]: a writable, hash-partitioned key/value store
+//! whose shards are served by the existing bulk index drivers.
 //!
-//! The serving layer needs two things from its storage: a way to route
-//! a key to the one shard that owns it, and a way to run a *batch* of
-//! same-shard lookups through the morsel-parallel interleaved engine.
-//! Each shard is one of the three index structures the workspace
-//! already knows how to drive in bulk:
+//! Each shard is a **Main/Delta pair**, the columnstore resolution of
+//! the read-optimized vs write-optimized tension:
 //!
-//! * a **sorted column** (binary-search rank + equality resolve, the
-//!   paper's dictionary `locate`),
-//! * a **CSB+-tree** (Listing 6 traversal coroutines),
-//! * a **chained hash table** (Section 6 probe coroutines).
+//! * the **main** is one of the three immutable index structures the
+//!   workspace drives in bulk through the interleaved engine — a
+//!   **sorted column** (binary-search rank + equality resolve), a
+//!   **CSB+-tree** (Listing 6 traversal coroutines), or a **chained
+//!   hash table** (Section 6 probe coroutines);
+//! * the **delta** is a small sorted run of `(key, Option<value>)`
+//!   overrides (`None` = tombstone) consulted *after* the main batch
+//!   resolves, with last-write-wins semantics.
+//!
+//! Writes go to the delta; when a shard's delta reaches
+//! [`StoreConfig::merge_threshold`] entries, a **merge** rebuilds that
+//! shard's main from main+delta and publishes `(new main, empty
+//! delta)` through an [`EpochCell`] swap. Readers snapshot one
+//! `Arc<ShardVersion>` per operation, so they always see a *consistent*
+//! main+delta pair: an in-flight dispatch batch keeps reading the
+//! version it started on while a merge publishes the next one, and a
+//! merge can never tear a read (the swap is a single pointer store).
+//! Writers to the *same* shard serialize on a per-shard write lock;
+//! writers never block readers.
 //!
 //! Shard routing uses the *top* bits of the key's Fibonacci hash. The
 //! hash-table backend buckets on bits 32 and up of the same hash
@@ -19,14 +31,20 @@
 //! 2^(32 − shard_bits); sharing bits with the bucket index would
 //! leave every shard's table using only a fraction of its buckets.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use isi_core::epoch::EpochCell;
 use isi_core::mem::DirectMem;
 use isi_core::par::ParConfig;
 use isi_core::policy::Interleave;
 use isi_core::sched::RunStats;
+use isi_core::stats::LatencyHist;
 use isi_csb::{CsbTree, DirectTreeStore};
 use isi_hash::table::{ChainedHashTable, HashKey};
 
-/// Which index structure backs every shard of a [`ShardedStore`].
+/// Which index structure backs every shard's main of a [`ShardedStore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Backend {
     /// Sorted key column + aligned value column; lookups are
@@ -57,72 +75,272 @@ impl Backend {
     }
 }
 
-/// One shard's index structure (private: the store picks per backend).
-enum ShardIndex {
+/// Store tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreConfig {
+    /// Delta entries (upserts + tombstones) in one shard that trigger
+    /// a merge of that shard. `1` merges on every write (the delta
+    /// never survives a write); large values batch more writes per
+    /// rebuild at the cost of a larger overlay on the read path.
+    pub merge_threshold: usize,
+}
+
+impl Default for StoreConfig {
+    /// Merge a shard after 4096 delta entries.
+    fn default() -> Self {
+        Self {
+            merge_threshold: 4096,
+        }
+    }
+}
+
+/// One shard's immutable main index (private: the store picks per
+/// backend).
+enum MainIndex {
     Sorted { keys: Vec<u64>, vals: Vec<u64> },
     Csb(CsbTree<u64, u64>),
     Hash(ChainedHashTable<u64, u64>),
 }
 
-/// A key/value store hash-partitioned into power-of-two shards, each
-/// shard an independent index servable by the bulk interleaved drivers.
+impl MainIndex {
+    /// Build from strictly-sorted, duplicate-free pairs.
+    fn build(backend: Backend, pairs: &[(u64, u64)]) -> Self {
+        debug_assert!(pairs.windows(2).all(|w| w[0].0 < w[1].0));
+        match backend {
+            Backend::Sorted => MainIndex::Sorted {
+                keys: pairs.iter().map(|&(k, _)| k).collect(),
+                vals: pairs.iter().map(|&(_, v)| v).collect(),
+            },
+            Backend::Csb => MainIndex::Csb(CsbTree::from_sorted(pairs)),
+            Backend::Hash => {
+                let mut t = ChainedHashTable::with_capacity(pairs.len());
+                for &(k, v) in pairs {
+                    t.insert(k, v);
+                }
+                MainIndex::Hash(t)
+            }
+        }
+    }
+
+    /// Sequential point lookup.
+    fn get(&self, key: u64) -> Option<u64> {
+        match self {
+            MainIndex::Sorted { keys, vals } => keys.binary_search(&key).ok().map(|i| vals[i]),
+            MainIndex::Csb(tree) => tree.get(&key),
+            MainIndex::Hash(table) => table.get(&key),
+        }
+    }
+
+    /// Every pair, sorted by key (merge input).
+    fn pairs(&self) -> Vec<(u64, u64)> {
+        match self {
+            MainIndex::Sorted { keys, vals } => {
+                keys.iter().copied().zip(vals.iter().copied()).collect()
+            }
+            MainIndex::Csb(tree) => tree.items(),
+            MainIndex::Hash(table) => {
+                let mut out: Vec<(u64, u64)> =
+                    table.entries().iter().map(|e| (e.key, e.val)).collect();
+                out.sort_unstable_by_key(|&(k, _)| k);
+                out
+            }
+        }
+    }
+
+    /// Batch lookup through the morsel-parallel interleaved engine.
+    fn lookup_batch(
+        &self,
+        keys: &[u64],
+        policy: Interleave,
+        par: ParConfig,
+        scratch: &mut Vec<u32>,
+        out: &mut [Option<u64>],
+    ) -> RunStats {
+        let group = policy.group_or_one();
+        match self {
+            MainIndex::Sorted { keys: col, vals } => {
+                // Rank via the interleaved binary-search coroutines,
+                // then resolve rank -> value with one equality check
+                // (the rank position is cache-hot right after the
+                // search touched it).
+                if col.is_empty() {
+                    out.fill(None);
+                    return RunStats::default();
+                }
+                let mem = DirectMem::new(col);
+                scratch.clear();
+                scratch.resize(keys.len(), 0);
+                let stats = isi_search::bulk_rank_coro_par(mem, keys, group, par, scratch);
+                for ((o, &r), &k) in out.iter_mut().zip(scratch.iter()).zip(keys) {
+                    *o = (col[r as usize] == k).then(|| vals[r as usize]);
+                }
+                stats
+            }
+            MainIndex::Csb(tree) => {
+                isi_csb::bulk_lookup_par(DirectTreeStore::new(tree), keys, group, par, out)
+            }
+            MainIndex::Hash(table) => isi_hash::bulk_probe_par(table, keys, group, par, out),
+        }
+    }
+}
+
+/// The append-friendly overlay: a sorted run of per-key overrides.
+/// `Some(v)` upserts the key to `v`; `None` is a tombstone. The run is
+/// small (bounded by the merge threshold), so writes clone it — that
+/// keeps every published [`ShardVersion`] immutable, which is what
+/// makes reader snapshots consistent without any read-side locking
+/// order.
+#[derive(Clone, Default)]
+struct Delta {
+    entries: Vec<(u64, Option<u64>)>,
+}
+
+impl Delta {
+    /// The override for `key`: `Some(Some(v))` = upserted to `v`,
+    /// `Some(None)` = tombstoned, `None` = no override (fall through
+    /// to the main).
+    fn get(&self, key: u64) -> Option<Option<u64>> {
+        self.entries
+            .binary_search_by_key(&key, |e| e.0)
+            .ok()
+            .map(|i| self.entries[i].1)
+    }
+
+    /// A copy of this delta with `key` overridden (last write wins).
+    fn with_upsert(&self, key: u64, val: Option<u64>) -> Delta {
+        let mut entries = self.entries.clone();
+        match entries.binary_search_by_key(&key, |e| e.0) {
+            Ok(i) => entries[i].1 = val,
+            Err(i) => entries.insert(i, (key, val)),
+        }
+        Delta { entries }
+    }
+
+    /// Number of overrides (upserts + tombstones).
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// One published, immutable version of a shard: the main index plus
+/// the delta overlay that has accumulated on top of it. Readers
+/// snapshot the whole pair atomically through the shard's
+/// [`EpochCell`].
+struct ShardVersion {
+    /// Shared with successor versions until a merge replaces it.
+    main: Arc<MainIndex>,
+    delta: Delta,
+}
+
+/// Per-shard write-side state (serialized by the shard's write lock).
+#[derive(Default)]
+struct WriteStats {
+    merges: u64,
+    merge_ns: LatencyHist,
+}
+
+struct Shard {
+    version: EpochCell<ShardVersion>,
+    /// Serializes writers to this shard and guards the merge counters.
+    write: Mutex<WriteStats>,
+}
+
+/// A writable key/value store hash-partitioned into power-of-two
+/// shards, each shard a Main/Delta pair servable by the bulk
+/// interleaved drivers (see the [module docs](self)).
+///
+/// Point reads and batch lookups take `&self` and never block behind
+/// writes or merges; `put`/`remove` also take `&self` (interior
+/// mutability) and serialize per shard.
 pub struct ShardedStore {
     backend: Backend,
     shard_bits: u32,
-    shards: Vec<ShardIndex>,
-    len: usize,
+    cfg: StoreConfig,
+    shards: Vec<Shard>,
+    /// Live key count (upserts − tombstoned keys), maintained by the
+    /// write path.
+    live: AtomicUsize,
 }
 
 impl ShardedStore {
-    /// Build from key/value pairs.
+    /// Build with the default [`StoreConfig`].
+    ///
+    /// Duplicate keys in `pairs` resolve **last-write-wins** (the
+    /// later pair in slice order supersedes the earlier), matching the
+    /// upsert path.
     ///
     /// # Panics
-    /// Panics if `num_shards` is not a power of two (including 0) or if
-    /// `pairs` contains duplicate keys.
+    /// Panics if `num_shards` is not a power of two (including 0).
     pub fn build(backend: Backend, num_shards: usize, pairs: &[(u64, u64)]) -> Self {
+        Self::build_with(backend, num_shards, pairs, StoreConfig::default())
+    }
+
+    /// Build from key/value pairs with explicit tuning knobs.
+    ///
+    /// # Panics
+    /// Panics if `num_shards` is not a power of two (including 0) or
+    /// if `cfg.merge_threshold` is 0.
+    pub fn build_with(
+        backend: Backend,
+        num_shards: usize,
+        pairs: &[(u64, u64)],
+        cfg: StoreConfig,
+    ) -> Self {
         assert!(
             num_shards.is_power_of_two(),
             "num_shards must be a power of two, got {num_shards}"
         );
+        assert!(cfg.merge_threshold > 0, "merge_threshold must be positive");
         let shard_bits = num_shards.trailing_zeros();
         let mut parts: Vec<Vec<(u64, u64)>> = (0..num_shards).map(|_| Vec::new()).collect();
         for &(k, v) in pairs {
             parts[shard_route(k, shard_bits)].push((k, v));
         }
+        let mut live = 0usize;
         let shards = parts
             .into_iter()
             .map(|mut part| {
-                part.sort_unstable_by_key(|&(k, _)| k);
-                for w in part.windows(2) {
-                    assert!(w[0].0 < w[1].0, "duplicate key {} in store input", w[0].0);
-                }
-                match backend {
-                    Backend::Sorted => ShardIndex::Sorted {
-                        keys: part.iter().map(|&(k, _)| k).collect(),
-                        vals: part.iter().map(|&(_, v)| v).collect(),
-                    },
-                    Backend::Csb => ShardIndex::Csb(CsbTree::from_sorted(&part)),
-                    Backend::Hash => {
-                        let mut t = ChainedHashTable::with_capacity(part.len());
-                        for &(k, v) in &part {
-                            t.insert(k, v);
-                        }
-                        ShardIndex::Hash(t)
+                // Stable sort keeps equal keys in input order; the
+                // last occurrence of each key wins.
+                part.sort_by_key(|&(k, _)| k);
+                let mut dedup: Vec<(u64, u64)> = Vec::with_capacity(part.len());
+                for &(k, v) in &part {
+                    match dedup.last_mut() {
+                        Some(last) if last.0 == k => last.1 = v,
+                        _ => dedup.push((k, v)),
                     }
+                }
+                live += dedup.len();
+                Shard {
+                    version: EpochCell::new(ShardVersion {
+                        main: Arc::new(MainIndex::build(backend, &dedup)),
+                        delta: Delta::default(),
+                    }),
+                    write: Mutex::new(WriteStats::default()),
                 }
             })
             .collect();
         Self {
             backend,
             shard_bits,
+            cfg,
             shards,
-            len: pairs.len(),
+            live: AtomicUsize::new(live),
         }
     }
 
-    /// The backend every shard uses.
+    /// The backend every shard's main uses.
     pub fn backend(&self) -> Backend {
         self.backend
+    }
+
+    /// The tuning knobs the store was built with.
+    pub fn config(&self) -> StoreConfig {
+        self.cfg
     }
 
     /// Number of shards (a power of two).
@@ -130,14 +348,14 @@ impl ShardedStore {
         self.shards.len()
     }
 
-    /// Total number of key/value pairs across all shards.
+    /// Number of live keys (pairs minus tombstoned keys).
     pub fn len(&self) -> usize {
-        self.len
+        self.live.load(Ordering::Relaxed)
     }
 
-    /// True if the store holds no pairs.
+    /// True if the store holds no live keys.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.len() == 0
     }
 
     /// The shard that owns `key`.
@@ -146,21 +364,123 @@ impl ShardedStore {
         shard_route(key, self.shard_bits)
     }
 
-    /// Sequential point lookup — the oracle the batched path must
-    /// agree with, and the baseline the service's batching is measured
-    /// against.
-    pub fn get(&self, key: u64) -> Option<u64> {
-        match &self.shards[self.shard_of(key)] {
-            ShardIndex::Sorted { keys, vals } => keys.binary_search(&key).ok().map(|i| vals[i]),
-            ShardIndex::Csb(tree) => tree.get(&key),
-            ShardIndex::Hash(table) => table.get(&key),
+    /// Current delta entries across all shards (each `< merge_threshold`
+    /// per shard at rest).
+    pub fn delta_len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.version.load().delta.len())
+            .sum()
+    }
+
+    /// Merges performed since build, across all shards.
+    pub fn merges(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.write.lock().unwrap().merges)
+            .sum()
+    }
+
+    /// Merge wall-latency histogram (nanoseconds), across all shards.
+    pub fn merge_latency(&self) -> LatencyHist {
+        let mut hist = LatencyHist::new();
+        for s in &self.shards {
+            hist.merge(&s.write.lock().unwrap().merge_ns);
         }
+        hist
+    }
+
+    /// Version-swap count of `shard` (one per write, since every write
+    /// publishes a new version; merges are the swaps that also replace
+    /// the main).
+    pub fn shard_epoch(&self, shard: usize) -> u64 {
+        self.shards[shard].version.epoch()
+    }
+
+    /// Sequential point lookup — the oracle the batched path must
+    /// agree with. Reads one consistent [`ShardVersion`] snapshot:
+    /// delta override first, main otherwise.
+    pub fn get(&self, key: u64) -> Option<u64> {
+        let v = self.shards[self.shard_of(key)].version.load();
+        match v.delta.get(key) {
+            Some(over) => over,
+            None => v.main.get(key),
+        }
+    }
+
+    /// Upsert `key = val`; returns the previously visible value
+    /// (last-write-wins). May trigger a merge of the owning shard.
+    pub fn put(&self, key: u64, val: u64) -> Option<u64> {
+        self.write(key, Some(val))
+    }
+
+    /// Remove `key`; returns the value it held, if any. A miss is a
+    /// no-op (no tombstone is recorded for a key that is nowhere).
+    pub fn remove(&self, key: u64) -> Option<u64> {
+        self.write(key, None)
+    }
+
+    /// The shared write path: record the override in the owning
+    /// shard's delta (publishing a new version), merging the shard
+    /// when the delta reaches the threshold.
+    fn write(&self, key: u64, val: Option<u64>) -> Option<u64> {
+        let shard = &self.shards[self.shard_of(key)];
+        let mut w = shard.write.lock().unwrap();
+        let cur = shard.version.load();
+        let prev = match cur.delta.get(key) {
+            Some(over) => over,
+            None => cur.main.get(key),
+        };
+        // Removing a key that is nowhere needs no tombstone (and must
+        // not grow the delta, or idempotent removes would force
+        // merges).
+        if val.is_none() && prev.is_none() && cur.delta.get(key).is_none() {
+            return None;
+        }
+        let delta = cur.delta.with_upsert(key, val);
+        if delta.len() >= self.cfg.merge_threshold {
+            // Merge: rebuild this shard's main from main+delta and
+            // publish (new main, empty delta) in one epoch swap.
+            // Readers holding the old version keep reading it; new
+            // readers see the merged main. The shard write lock is
+            // held throughout, so only same-shard *writers* wait.
+            let t0 = Instant::now();
+            let merged = merge_pairs(&cur.main.pairs(), &delta.entries);
+            let main = Arc::new(MainIndex::build(self.backend, &merged));
+            shard.version.store(Arc::new(ShardVersion {
+                main,
+                delta: Delta::default(),
+            }));
+            w.merges += 1;
+            w.merge_ns.record(t0.elapsed().as_nanos() as u64);
+        } else {
+            shard.version.store(Arc::new(ShardVersion {
+                main: Arc::clone(&cur.main),
+                delta,
+            }));
+        }
+        match (prev.is_some(), val.is_some()) {
+            (false, true) => {
+                self.live.fetch_add(1, Ordering::Relaxed);
+            }
+            (true, false) => {
+                self.live.fetch_sub(1, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+        prev
     }
 
     /// Run a batch of lookups that all route to `shard` through the
     /// morsel-parallel interleaved engine, scattering `out[i]` =
     /// lookup result of `keys[i]`. Returns the engine's merged
     /// [`RunStats`].
+    ///
+    /// The whole batch reads **one** [`ShardVersion`] snapshot: the
+    /// main resolves through the engine, then the delta overlay
+    /// rewrites the overridden slots. A merge publishing mid-batch
+    /// cannot produce torn results — this batch finishes on the
+    /// version it started with.
     ///
     /// `scratch` is caller-owned rank scratch space (used by the
     /// sorted backend); reusing one vector across calls keeps the
@@ -184,32 +504,48 @@ impl ShardedStore {
             keys.iter().all(|&k| self.shard_of(k) == shard),
             "batch contains keys routed to another shard"
         );
-        let group = policy.group_or_one();
-        match &self.shards[shard] {
-            ShardIndex::Sorted { keys: col, vals } => {
-                // Rank via the interleaved binary-search coroutines,
-                // then resolve rank -> value with one equality check
-                // (the rank position is cache-hot right after the
-                // search touched it).
-                if col.is_empty() {
-                    out.fill(None);
-                    return RunStats::default();
+        let v = self.shards[shard].version.load();
+        let stats = v.main.lookup_batch(keys, policy, par, scratch, out);
+        if !v.delta.is_empty() {
+            for (o, &k) in out.iter_mut().zip(keys) {
+                if let Some(over) = v.delta.get(k) {
+                    *o = over;
                 }
-                let mem = DirectMem::new(col);
-                scratch.clear();
-                scratch.resize(keys.len(), 0);
-                let stats = isi_search::bulk_rank_coro_par(mem, keys, group, par, scratch);
-                for ((o, &r), &k) in out.iter_mut().zip(scratch.iter()).zip(keys) {
-                    *o = (col[r as usize] == k).then(|| vals[r as usize]);
-                }
-                stats
             }
-            ShardIndex::Csb(tree) => {
-                isi_csb::bulk_lookup_par(DirectTreeStore::new(tree), keys, group, par, out)
+        }
+        stats
+    }
+}
+
+/// Merge-join a shard's sorted main pairs with its sorted delta run:
+/// delta overrides win, tombstones drop the key. Both inputs are
+/// strictly sorted by key; so is the output.
+fn merge_pairs(main: &[(u64, u64)], delta: &[(u64, Option<u64>)]) -> Vec<(u64, u64)> {
+    let mut out = Vec::with_capacity(main.len() + delta.len());
+    let (mut i, mut j) = (0, 0);
+    while i < main.len() && j < delta.len() {
+        let (mk, mv) = main[i];
+        let (dk, dv) = delta[j];
+        if mk < dk {
+            out.push((mk, mv));
+            i += 1;
+        } else {
+            if let Some(v) = dv {
+                out.push((dk, v));
             }
-            ShardIndex::Hash(table) => isi_hash::bulk_probe_par(table, keys, group, par, out),
+            j += 1;
+            if mk == dk {
+                i += 1;
+            }
         }
     }
+    out.extend_from_slice(&main[i..]);
+    for &(k, v) in &delta[j..] {
+        if let Some(v) = v {
+            out.push((k, v));
+        }
+    }
+    out
 }
 
 /// Top-bits shard routing: shard = high `bits` bits of the Fibonacci
@@ -226,6 +562,7 @@ fn shard_route(key: u64, bits: u32) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashMap;
 
     fn pairs(n: u64) -> Vec<(u64, u64)> {
         (0..n).map(|i| (i * 3, i + 1000)).collect()
@@ -351,8 +688,184 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "duplicate key")]
-    fn rejects_duplicate_keys() {
-        ShardedStore::build(Backend::Csb, 1, &[(5, 1), (5, 2)]);
+    #[should_panic(expected = "merge_threshold must be positive")]
+    fn rejects_zero_merge_threshold() {
+        ShardedStore::build_with(Backend::Sorted, 1, &[], StoreConfig { merge_threshold: 0 });
+    }
+
+    #[test]
+    fn build_duplicates_resolve_last_write_wins() {
+        for backend in Backend::ALL {
+            let store = ShardedStore::build(
+                backend,
+                2,
+                &[(5, 1), (9, 7), (5, 2), (5, 3), (11, 4), (9, 8)],
+            );
+            assert_eq!(store.len(), 3, "{}", backend.name());
+            assert_eq!(store.get(5), Some(3));
+            assert_eq!(store.get(9), Some(8));
+            assert_eq!(store.get(11), Some(4));
+        }
+    }
+
+    #[test]
+    fn put_remove_agree_with_oracle_across_thresholds() {
+        // A deterministic mixed schedule over a small key space,
+        // checked op-by-op against a HashMap, across all backends and
+        // merge thresholds including merge-every-write.
+        for backend in Backend::ALL {
+            for threshold in [1usize, 4, 1 << 20] {
+                let store = ShardedStore::build_with(
+                    backend,
+                    2,
+                    &pairs(300),
+                    StoreConfig {
+                        merge_threshold: threshold,
+                    },
+                );
+                let mut oracle: HashMap<u64, u64> = pairs(300).into_iter().collect();
+                for i in 0..1200u64 {
+                    let key = i * 17 % 1000;
+                    let tag = format!("{}/t{threshold} i={i}", backend.name());
+                    match i % 5 {
+                        0 | 1 => {
+                            assert_eq!(store.put(key, i), oracle.insert(key, i), "{tag}");
+                        }
+                        2 => {
+                            assert_eq!(store.remove(key), oracle.remove(&key), "{tag}");
+                        }
+                        _ => {
+                            assert_eq!(store.get(key), oracle.get(&key).copied(), "{tag}");
+                        }
+                    }
+                    assert_eq!(store.len(), oracle.len(), "{tag}");
+                }
+                // At rest every shard's delta is below the threshold.
+                assert!(store.delta_len() < threshold.max(1) * store.num_shards());
+                if threshold == 1 {
+                    // Merge-every-write: the delta never survives.
+                    assert_eq!(store.delta_len(), 0);
+                    assert!(store.merges() >= 480, "merges={}", store.merges());
+                    assert_eq!(store.merge_latency().count(), store.merges());
+                }
+                // Full scan agreement after the schedule.
+                for probe in 0..1000u64 {
+                    assert_eq!(store.get(probe), oracle.get(&probe).copied());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_lookups_see_writes_and_tombstones() {
+        for backend in Backend::ALL {
+            let store = ShardedStore::build_with(
+                backend,
+                2,
+                &pairs(500),
+                StoreConfig {
+                    merge_threshold: 64,
+                },
+            );
+            store.put(0, 999); // overwrite
+            store.put(7, 123); // fresh key (7 % 3 != 0)
+            store.remove(3); // tombstone an existing key
+            let probes: Vec<u64> = (0..600u64).collect();
+            let mut batches: Vec<Vec<u64>> = vec![Vec::new(); 2];
+            for &p in &probes {
+                batches[store.shard_of(p)].push(p);
+            }
+            let mut scratch = Vec::new();
+            for (s, batch) in batches.iter().enumerate() {
+                let mut out = vec![None; batch.len()];
+                store.lookup_batch(
+                    s,
+                    batch,
+                    Interleave::Interleaved(6),
+                    ParConfig::with_threads(1),
+                    &mut scratch,
+                    &mut out,
+                );
+                for (&k, &r) in batch.iter().zip(&out) {
+                    assert_eq!(r, store.get(k), "{} key={k}", backend.name());
+                }
+            }
+            assert_eq!(store.get(0), Some(999));
+            assert_eq!(store.get(7), Some(123));
+            assert_eq!(store.get(3), None);
+        }
+    }
+
+    #[test]
+    fn merges_swap_epochs_and_drain_the_delta() {
+        let store = ShardedStore::build_with(
+            Backend::Csb,
+            1,
+            &pairs(100),
+            StoreConfig { merge_threshold: 8 },
+        );
+        assert_eq!(store.shard_epoch(0), 0);
+        for i in 0..64u64 {
+            store.put(10_000 + i, i);
+        }
+        // Every write swaps the version; every 8th write merged.
+        assert_eq!(store.shard_epoch(0), 64);
+        assert_eq!(store.merges(), 8);
+        assert_eq!(store.delta_len(), 0);
+        assert_eq!(store.len(), 164);
+        for i in 0..64u64 {
+            assert_eq!(store.get(10_000 + i), Some(i));
+        }
+    }
+
+    #[test]
+    fn concurrent_reads_during_merges_are_consistent() {
+        // A writer bumps one key through merge-every-write while
+        // readers hammer point gets and batch lookups. Reads must be
+        // monotone for the hot key (versions publish in order) and
+        // rock-stable for an untouched key — across merges, never torn.
+        const N: u64 = 300;
+        for backend in Backend::ALL {
+            let store = ShardedStore::build_with(
+                backend,
+                1,
+                &[(2, 1_000_000), (4, 42)],
+                StoreConfig { merge_threshold: 1 },
+            );
+            std::thread::scope(|scope| {
+                let writer = scope.spawn(|| {
+                    for v in 1_000_001..=1_000_000 + N {
+                        store.put(2, v);
+                    }
+                });
+                for _ in 0..2 {
+                    scope.spawn(|| {
+                        let mut scratch = Vec::new();
+                        let mut out = [None, None];
+                        let mut last = 1_000_000u64;
+                        while last < 1_000_000 + N {
+                            let got = store.get(2).expect("hot key must always exist");
+                            assert!(got >= last, "hot key went backwards: {got} < {last}");
+                            last = got;
+                            store.lookup_batch(
+                                0,
+                                &[2, 4],
+                                Interleave::Interleaved(4),
+                                ParConfig::with_threads(1),
+                                &mut scratch,
+                                &mut out,
+                            );
+                            let batch_hot = out[0].expect("hot key must always exist");
+                            assert!(batch_hot >= last, "batch read went backwards");
+                            assert_eq!(out[1], Some(42), "cold key must never move");
+                            last = last.max(batch_hot);
+                        }
+                    });
+                }
+                writer.join().unwrap();
+            });
+            assert_eq!(store.get(2), Some(1_000_000 + N));
+            assert_eq!(store.merges(), N, "{}", backend.name());
+        }
     }
 }

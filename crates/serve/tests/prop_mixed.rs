@@ -1,0 +1,237 @@
+//! Property tests for the *writable* serving layer: any mixed
+//! `put`/`remove`/`get`/`get_many` schedule through the live service
+//! agrees with a sequential `HashMap` oracle — on every backend,
+//! shard count and delta-merge threshold (including threshold 1 =
+//! merge-every-write), with and without the hot-key cache.
+//!
+//! Two angles:
+//!
+//! * **Sequential agreement** — one client issues the whole schedule;
+//!   per-shard FIFO makes the service's answers (including each
+//!   write's returned previous value) deterministic, so they must
+//!   match `HashMap` exactly, merge or no merge.
+//! * **Concurrent disjoint-key clients** — four clients run the same
+//!   schedule shape on disjoint key sets; each client's own results
+//!   must match an oracle restricted to its keys (read-your-writes
+//!   under concurrency), and the final state must match the union.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use isi_serve::{Backend, BatchPolicy, LookupService, ServeConfig, ShardedStore, StoreConfig};
+
+/// Key space small enough that overwrites, removes of present keys
+/// and tombstone-hiding merges all happen constantly.
+const KEYSPACE: u64 = 400;
+
+#[derive(Clone, Debug)]
+enum MixedOp {
+    Get(u64),
+    Put(u64, u64),
+    Remove(u64),
+    GetMany(Vec<u64>),
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<MixedOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u64..KEYSPACE).prop_map(MixedOp::Get),
+            ((0u64..KEYSPACE), (0u64..1_000_000)).prop_map(|(k, v)| MixedOp::Put(k, v)),
+            (0u64..KEYSPACE).prop_map(MixedOp::Remove),
+            proptest::collection::vec(0u64..KEYSPACE, 1..16).prop_map(MixedOp::GetMany),
+        ],
+        1..120,
+    )
+}
+
+fn initial_pairs() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    proptest::collection::btree_map(0u64..KEYSPACE, 0u64..1_000_000, 1..100)
+        .prop_map(|map| map.into_iter().collect())
+}
+
+fn service(store: ShardedStore, hot_cache_slots: usize) -> LookupService {
+    LookupService::start(
+        store,
+        ServeConfig {
+            batch: BatchPolicy {
+                max_batch: 4,
+                max_wait: Duration::from_micros(50),
+            },
+            queue_cap: 8,
+            hot_cache_slots,
+            ..ServeConfig::default()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn mixed_schedule_matches_hashmap_oracle(
+        pairs in initial_pairs(),
+        ops in ops_strategy(),
+    ) {
+        for backend in Backend::ALL {
+            for shards in [1usize, 2, 4] {
+                for threshold in [1usize, 3, 1 << 16] {
+                    for cache in [0usize, 16] {
+                        let store = ShardedStore::build_with(
+                            backend,
+                            shards,
+                            &pairs,
+                            StoreConfig { merge_threshold: threshold },
+                        );
+                        let svc = service(store, cache);
+                        let mut oracle: HashMap<u64, u64> = pairs.iter().copied().collect();
+                        let mut puts = 0u64;
+                        for (step, op) in ops.iter().enumerate() {
+                            let tag = || format!(
+                                "backend={} shards={shards} threshold={threshold} \
+                                 cache={cache} step={step} op={op:?}",
+                                backend.name()
+                            );
+                            match op {
+                                MixedOp::Get(k) => {
+                                    prop_assert_eq!(
+                                        svc.get(*k), oracle.get(k).copied(), "{}", tag()
+                                    );
+                                }
+                                MixedOp::Put(k, v) => {
+                                    puts += 1;
+                                    prop_assert_eq!(
+                                        svc.put(*k, *v), oracle.insert(*k, *v), "{}", tag()
+                                    );
+                                }
+                                MixedOp::Remove(k) => {
+                                    prop_assert_eq!(
+                                        svc.remove(*k), oracle.remove(k), "{}", tag()
+                                    );
+                                }
+                                MixedOp::GetMany(keys) => {
+                                    let want: Vec<Option<u64>> =
+                                        keys.iter().map(|k| oracle.get(k).copied()).collect();
+                                    prop_assert_eq!(svc.get_many(keys), want, "{}", tag());
+                                }
+                            }
+                        }
+                        // Full-keyspace sweep through get_many: the
+                        // final state matches the oracle everywhere,
+                        // not just on probed keys.
+                        let all: Vec<u64> = (0..KEYSPACE).collect();
+                        let want: Vec<Option<u64>> =
+                            all.iter().map(|k| oracle.get(k).copied()).collect();
+                        prop_assert_eq!(svc.get_many(&all), want);
+                        prop_assert_eq!(svc.store().len(), oracle.len());
+
+                        let stats = svc.stats();
+                        // At rest, no shard's delta ever holds a full
+                        // threshold (a merge would have drained it).
+                        prop_assert!(
+                            stats.delta_keys < (threshold * shards) as u64 + 1
+                        );
+                        if threshold == 1 {
+                            // Merge-every-write: the delta never
+                            // survives a write, and every put merged.
+                            prop_assert_eq!(stats.delta_keys, 0);
+                            prop_assert!(stats.merges >= puts);
+                        }
+                        prop_assert_eq!(stats.merge_latency.count(), stats.merges);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_disjoint_clients_keep_read_your_writes(
+        pairs in initial_pairs(),
+        ops in ops_strategy(),
+    ) {
+        const CLIENTS: u64 = 4;
+        for backend in Backend::ALL {
+            for shards in [1usize, 4] {
+                let store = ShardedStore::build_with(
+                    backend,
+                    shards,
+                    &pairs,
+                    StoreConfig { merge_threshold: 2 },
+                );
+                let svc = service(store, 16);
+                // Client c owns exactly the keys ≡ c (mod CLIENTS);
+                // remap every key of the shared schedule into the
+                // client's residue class so schedules never collide.
+                let own = |c: u64, k: u64| k - (k % CLIENTS) + c;
+                std::thread::scope(|scope| {
+                    for c in 0..CLIENTS {
+                        let svc = &svc;
+                        let ops = &ops;
+                        let mut oracle: HashMap<u64, u64> = pairs
+                            .iter()
+                            .copied()
+                            .filter(|(k, _)| k % CLIENTS == c)
+                            .collect();
+                        scope.spawn(move || {
+                            for op in ops {
+                                match op {
+                                    MixedOp::Get(k) => {
+                                        let k = own(c, *k);
+                                        assert_eq!(svc.get(k), oracle.get(&k).copied());
+                                    }
+                                    MixedOp::Put(k, v) => {
+                                        let k = own(c, *k);
+                                        assert_eq!(svc.put(k, *v), oracle.insert(k, *v));
+                                    }
+                                    MixedOp::Remove(k) => {
+                                        let k = own(c, *k);
+                                        assert_eq!(svc.remove(k), oracle.remove(&k));
+                                    }
+                                    MixedOp::GetMany(keys) => {
+                                        let keys: Vec<u64> =
+                                            keys.iter().map(|&k| own(c, k)).collect();
+                                        let want: Vec<Option<u64>> = keys
+                                            .iter()
+                                            .map(|k| oracle.get(k).copied())
+                                            .collect();
+                                        assert_eq!(svc.get_many(&keys), want);
+                                    }
+                                }
+                            }
+                            oracle
+                        });
+                    }
+                });
+                // Final state equals the union of what each client
+                // left behind: replay all clients' schedules on one
+                // map (disjoint keys make the interleaving immaterial).
+                let mut union: HashMap<u64, u64> = pairs.iter().copied().collect();
+                for c in 0..CLIENTS {
+                    for op in &ops {
+                        match op {
+                            MixedOp::Put(k, v) => {
+                                union.insert(own(c, *k), *v);
+                            }
+                            MixedOp::Remove(k) => {
+                                union.remove(&own(c, *k));
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                let all: Vec<u64> = (0..KEYSPACE).collect();
+                let want: Vec<Option<u64>> =
+                    all.iter().map(|k| union.get(k).copied()).collect();
+                prop_assert_eq!(
+                    svc.get_many(&all),
+                    want,
+                    "backend={} shards={}",
+                    backend.name(),
+                    shards
+                );
+                prop_assert_eq!(svc.store().len(), union.len());
+            }
+        }
+    }
+}

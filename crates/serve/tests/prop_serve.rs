@@ -7,6 +7,11 @@
 //! * tiny `max_wait` — batches flush ragged, on the deadline;
 //! * large both — everything coalesces into few big batches, with the
 //!   queue bound exercising backpressure.
+//!
+//! Each policy runs with the hot-key cache off and on: repeated keys
+//! in the probe list then answer from the cache (no dispatch), which
+//! must never change an answer — only shift counts from `requests`
+//! to `cache_hits`.
 
 use std::time::Duration;
 
@@ -57,12 +62,14 @@ proptest! {
         for backend in Backend::ALL {
             for shards in [1usize, 2, 4] {
                 for (p, policy) in policies().into_iter().enumerate() {
+                    for hot_cache_slots in [0usize, 32] {
                     let store = ShardedStore::build(backend, shards, &pairs);
                     let svc = LookupService::start(
                         store,
                         ServeConfig {
                             batch: policy,
                             queue_cap: 8,
+                            hot_cache_slots,
                             ..ServeConfig::default()
                         },
                     );
@@ -100,10 +107,23 @@ proptest! {
                         }
                     }
                     let stats = svc.stats();
-                    prop_assert_eq!(stats.requests, probes.len() as u64);
-                    prop_assert_eq!(stats.latency.count(), probes.len() as u64);
+                    // Every probe is either dispatched (counted in
+                    // requests and engine lookups) or a cache hit;
+                    // with the cache disabled the split is trivial.
+                    prop_assert_eq!(
+                        stats.requests + stats.cache_hits,
+                        probes.len() as u64
+                    );
+                    prop_assert_eq!(stats.latency.count(), stats.requests);
                     prop_assert!(stats.batches >= 1);
-                    prop_assert!(stats.engine.lookups == probes.len() as u64);
+                    prop_assert!(
+                        stats.engine.lookups + stats.cache_hits == probes.len() as u64
+                    );
+                    if hot_cache_slots == 0 {
+                        prop_assert_eq!(stats.cache_hits, 0);
+                        prop_assert_eq!(stats.requests, probes.len() as u64);
+                    }
+                    }
                 }
             }
         }
