@@ -8,10 +8,12 @@
 //!
 //! `--mixed` instead sweeps {backend} × {shard count} × {write
 //! fraction} over the **writable** store — closed-loop clients whose
-//! op streams mix `get`/`put`/`remove` — and writes
-//! `BENCH_serve_mixed.json` (schema `isi-serve-mixed/v1`), including
-//! merge counts, merge latency and hot-key-cache hits. Both binaries'
-//! documents self-verify before exiting.
+//! op streams mix `get`/`put`/`remove`/`get_range` — and writes
+//! `BENCH_serve_mixed.json` (schema `isi-serve-mixed/v2`), including
+//! merge counts (background vs foreground), merge latency, plan-stage
+//! delta hits / residual fraction, range-scan counts and
+//! hot-key-cache hits. Both binaries' documents self-verify before
+//! exiting.
 //!
 //! ```text
 //! serve [--smoke] [--out PATH]        run the read-only sweep
@@ -24,7 +26,9 @@
 //! `--clients N`, `--requests N` (per client), `--shards a,b,..`,
 //! `--rate RPS` (open-loop offered load, read-only sweep),
 //! `--group N`, `--threshold N` (delta merge threshold, mixed sweep),
-//! `--cache N` (hot-key cache slots, mixed sweep).
+//! `--cache N` (hot-key cache slots, mixed sweep), `--range F`
+//! (range-scan fraction in [0, 1], mixed sweep), `--bg-merge on|off`
+//! (background merger vs inline write-path merges, mixed sweep).
 
 use isi_bench::serve::{
     run_mixed_sweep, run_sweep, to_json, to_mixed_json, verify, verify_any_text, verify_mixed,
@@ -82,6 +86,10 @@ fn main() {
         "BENCH_serve.json".to_string()
     };
     let mut verify_path: Option<String> = None;
+    // Mode-specific flags seen, so a flag that only applies to the
+    // *other* sweep fails loudly instead of silently steering nothing.
+    let mut mixed_only_flags: Vec<&'static str> = Vec::new();
+    let mut readonly_only_flags: Vec<&'static str> = Vec::new();
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -111,15 +119,34 @@ fn main() {
                 mixed_cfg.group = cfg.group;
             }
             "--threshold" => {
+                mixed_only_flags.push("--threshold");
                 mixed_cfg.merge_threshold = parse_usize(&value("--threshold"), "--threshold");
             }
             "--cache" => {
+                mixed_only_flags.push("--cache");
                 // 0 is meaningful here: it disables the hot-key cache.
                 mixed_cfg.hot_cache_slots = value("--cache")
                     .parse()
                     .unwrap_or_else(|_| fail("bad --cache (need integer >= 0)"));
             }
+            "--range" => {
+                mixed_only_flags.push("--range");
+                mixed_cfg.range_fraction = value("--range")
+                    .parse()
+                    .ok()
+                    .filter(|&v: &f64| (0.0..=1.0).contains(&v))
+                    .unwrap_or_else(|| fail("bad --range (need fraction in [0, 1])"));
+            }
+            "--bg-merge" => {
+                mixed_only_flags.push("--bg-merge");
+                mixed_cfg.bg_merge = match value("--bg-merge").as_str() {
+                    "on" | "true" | "1" => true,
+                    "off" | "false" | "0" => false,
+                    other => fail(&format!("bad --bg-merge {other:?} (need on|off)")),
+                };
+            }
             "--rate" => {
+                readonly_only_flags.push("--rate");
                 cfg.open_rate_rps = value("--rate")
                     .parse()
                     .ok()
@@ -131,6 +158,34 @@ fn main() {
                 mixed_cfg.shard_counts = cfg.shard_counts.clone();
             }
             other => fail(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    // A sweep is about to run: a flag for the other mode would be
+    // silently inert, which reads as "I ran that experiment" when
+    // nothing happened. (--verify runs no sweep, so it skips this.)
+    if verify_path.is_none() {
+        if !mixed && !mixed_only_flags.is_empty() {
+            fail(&format!(
+                "{} only appl{} to --mixed; add --mixed or drop {}",
+                mixed_only_flags.join(", "),
+                if mixed_only_flags.len() == 1 {
+                    "ies"
+                } else {
+                    "y"
+                },
+                if mixed_only_flags.len() == 1 {
+                    "it"
+                } else {
+                    "them"
+                },
+            ));
+        }
+        if mixed && !readonly_only_flags.is_empty() {
+            fail(&format!(
+                "{} only applies to the read-only sweep; drop it or drop --mixed",
+                readonly_only_flags.join(", "),
+            ));
         }
     }
 
@@ -146,19 +201,21 @@ fn main() {
 
     let doc = if mixed {
         println!(
-            "# mixed serve sweep: backends={:?} shards={:?} write-fractions={:?} keys={} clients={} reqs/client={} threshold={} cache={}",
+            "# mixed serve sweep: backends={:?} shards={:?} write-fractions={:?} range-fraction={} keys={} clients={} reqs/client={} threshold={} cache={} bg-merge={}",
             mixed_cfg.backends.iter().map(|b| b.name()).collect::<Vec<_>>(),
             mixed_cfg.shard_counts,
             mixed_cfg.write_fractions,
+            mixed_cfg.range_fraction,
             mixed_cfg.store_keys,
             mixed_cfg.clients,
             mixed_cfg.requests_per_client,
             mixed_cfg.merge_threshold,
             mixed_cfg.hot_cache_slots,
+            mixed_cfg.bg_merge,
         );
         let cells = run_mixed_sweep(&mixed_cfg, |c| {
             println!(
-                "{:>6} shards={:<2} writes={:<4} {:>10.0} op/s  p50={:<9} p99={:<9} merges={:<4} delta={:<5} cache_hits={}",
+                "{:>6} shards={:<2} writes={:<4} {:>10.0} op/s  p50={:<9} p99={:<9} merges={:<4} bg={:<4} scans={:<4} resid={:.3} delta={:<5} cache_hits={}",
                 c.backend.name(),
                 c.shards,
                 format!("{}%", (c.write_fraction * 100.0).round()),
@@ -166,6 +223,9 @@ fn main() {
                 format!("{}ns", c.p50_ns),
                 format!("{}ns", c.p99_ns),
                 c.merges,
+                c.bg_merges,
+                c.range_scans,
+                c.residual_frac,
                 c.delta_keys,
                 c.cache_hits,
             );

@@ -20,11 +20,14 @@
 //! not just engine time.
 //!
 //! A second, **mixed read/write** sweep (`--mixed`, schema
-//! `isi-serve-mixed/v1`) drives closed-loop clients whose operation
-//! streams contain a configurable write fraction (puts + removes)
-//! against a writable store, recording merge counts, merge latency,
-//! residual delta size and hot-key-cache hits alongside the usual
-//! throughput/latency columns.
+//! `isi-serve-mixed/v2`) drives closed-loop clients whose operation
+//! streams contain a configurable write fraction (puts + removes) and
+//! range-scan fraction (`get_range` over a fixed key span) against a
+//! writable store, with merges on the background merger thread by
+//! default (`bg_merge`, toggleable to foreground for A/B runs). Cells
+//! record merge counts and latency, background-merge counts, residual
+//! delta size, plan-stage delta hits and residual fraction, and
+//! hot-key-cache hits alongside the usual throughput/latency columns.
 
 use std::time::{Duration, Instant};
 
@@ -485,7 +488,7 @@ pub fn verify_text(text: &str) -> Result<(), String> {
 // ---------------------------------------------------------------------------
 
 /// Schema tag of the mixed read/write sweep document.
-pub const MIXED_SCHEMA: &str = "isi-serve-mixed/v1";
+pub const MIXED_SCHEMA: &str = "isi-serve-mixed/v2";
 
 /// The default write fractions of the mixed sweep.
 pub const WRITE_FRACTIONS: [f64; 4] = [0.0, 0.01, 0.10, 0.50];
@@ -505,6 +508,13 @@ pub struct MixedBenchCfg {
     pub clients: usize,
     /// Operations each client issues per cell.
     pub requests_per_client: usize,
+    /// Fraction of operations that are range scans (`get_range`).
+    pub range_fraction: f64,
+    /// Key-space width of each range scan (`[key, key + range_span]`).
+    pub range_span: u64,
+    /// Run merges on the background merger thread (the default); off
+    /// = foreground merges on the write path, for A/B comparison.
+    pub bg_merge: bool,
     /// Per-shard delta entries that trigger a merge.
     pub merge_threshold: usize,
     /// Per-shard hot-key cache slots (0 disables).
@@ -519,7 +529,7 @@ pub struct MixedBenchCfg {
 
 impl MixedBenchCfg {
     /// Full sweep: a 256k-pair store, all backends, write fractions
-    /// {0, 1%, 10%, 50%}.
+    /// {0, 1%, 10%, 50%}, 5% range scans, background merges.
     pub fn full() -> Self {
         Self {
             backends: Backend::ALL.to_vec(),
@@ -528,6 +538,9 @@ impl MixedBenchCfg {
             store_keys: 1 << 18,
             clients: 8,
             requests_per_client: 2_000,
+            range_fraction: 0.05,
+            range_span: 512,
+            bg_merge: true,
             // 16k ops across 2 shards: 1% writes stay delta-resident,
             // 10% merge about once per shard, 50% merge repeatedly.
             merge_threshold: 512,
@@ -542,7 +555,8 @@ impl MixedBenchCfg {
     }
 
     /// Smoke sweep for CI: tiny store, a read-only and a 10%-write
-    /// cell, low merge threshold so merges actually run.
+    /// cell, low merge threshold so (background) merges actually run,
+    /// 10% range scans so the scan path is exercised.
     pub fn smoke() -> Self {
         Self {
             backends: Backend::ALL.to_vec(),
@@ -551,6 +565,9 @@ impl MixedBenchCfg {
             store_keys: 1 << 12,
             clients: 4,
             requests_per_client: 256,
+            range_fraction: 0.10,
+            range_span: 128,
+            bg_merge: true,
             // ~10% of 1024 ops are writes across 2 shards: low enough
             // a threshold of 24 forces real merges in the smoke cell.
             merge_threshold: 24,
@@ -574,7 +591,8 @@ pub struct MixedCell {
     pub shards: usize,
     /// Write fraction this cell targeted.
     pub write_fraction: f64,
-    /// Operations issued (gets incl. cache hits + puts + removes).
+    /// Client operations issued (gets incl. cache hits + puts +
+    /// removes + range scans).
     pub requests: u64,
     /// Reads issued.
     pub gets: u64,
@@ -582,8 +600,14 @@ pub struct MixedCell {
     pub puts: u64,
     /// Removes issued.
     pub removes: u64,
+    /// Range scans issued (client calls, not per-shard entries).
+    pub range_scans: u64,
     /// Reads answered by the hot-key cache without dispatch.
     pub cache_hits: u64,
+    /// Dispatched read keys the plan stage decided from the delta.
+    pub delta_hits: u64,
+    /// Fraction of dispatched read keys that reached the engine.
+    pub residual_frac: f64,
     /// Reads that found their key.
     pub hits: u64,
     /// Wall time of the whole cell, nanoseconds.
@@ -604,16 +628,19 @@ pub struct MixedCell {
     pub mean_batch: f64,
     /// Delta-to-main merges during the cell.
     pub merges: u64,
+    /// Merges performed by the background merger thread (= `merges`
+    /// with `bg_merge` on, 0 with it off).
+    pub bg_merges: u64,
     /// Median merge wall latency, nanoseconds (0 when no merge ran).
     pub merge_p50_ns: u64,
-    /// Residual delta entries when the cell finished.
+    /// Residual delta entries when the cell finished (post-quiesce).
     pub delta_keys: u64,
 }
 
-/// Per-client deterministic op stream: `(key, write_roll)` where
-/// `write_roll` is uniform in `[0, 1e6)`; an op is a write when the
-/// roll lands below `write_fraction * 1e6`, and every 8th write is a
-/// remove.
+/// Per-client deterministic op stream: `(key, roll)` where `roll` is
+/// uniform in `[0, 1e6)`. The roll picks the op kind: below
+/// `write_fraction * 1e6` it is a write (every 8th a remove), in the
+/// next `range_fraction * 1e6` band a range scan, otherwise a get.
 fn client_ops(cfg: &MixedBenchCfg, client: usize) -> Vec<(u64, u64)> {
     let keys = client_probes(cfg.store_keys, cfg.requests_per_client, client);
     let rolls = uniform_indices(
@@ -627,8 +654,8 @@ fn client_ops(cfg: &MixedBenchCfg, client: usize) -> Vec<(u64, u64)> {
 }
 
 /// Run one mixed cell: build a fresh writable store (each cell
-/// mutates it), drive closed-loop clients with the cell's write
-/// fraction, read the service's metrics.
+/// mutates it), drive closed-loop clients with the cell's write and
+/// range fractions, quiesce the merger, read the service's metrics.
 pub fn measure_mixed_cell(
     backend: Backend,
     shards: usize,
@@ -636,14 +663,11 @@ pub fn measure_mixed_cell(
     cfg: &MixedBenchCfg,
 ) -> MixedCell {
     let pairs: Vec<(u64, u64)> = (0..cfg.store_keys as u64).map(|i| (i * 2, i)).collect();
-    let store = ShardedStore::build_with(
-        backend,
-        shards,
-        &pairs,
-        StoreConfig {
-            merge_threshold: cfg.merge_threshold,
-        },
-    );
+    let mut store_cfg = StoreConfig::with_threshold(cfg.merge_threshold);
+    if !cfg.bg_merge {
+        store_cfg = store_cfg.foreground();
+    }
+    let store = ShardedStore::build_with(backend, shards, &pairs, store_cfg);
     let svc = LookupService::start(
         store,
         ServeConfig {
@@ -655,15 +679,17 @@ pub fn measure_mixed_cell(
         },
     );
     let write_below = (write_fraction * 1e6) as u64;
+    let range_below = write_below + (cfg.range_fraction * 1e6) as u64;
     let t0 = Instant::now();
-    // Each client returns (gets, puts, removes, hits).
-    let totals: Vec<(u64, u64, u64, u64)> = std::thread::scope(|scope| {
+    // Each client returns (gets, puts, removes, ranges, hits).
+    let totals: Vec<(u64, u64, u64, u64, u64)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..cfg.clients)
             .map(|c| {
                 let svc = &svc;
                 let ops = client_ops(cfg, c);
                 scope.spawn(move || {
-                    let (mut gets, mut puts, mut removes, mut hits) = (0u64, 0u64, 0u64, 0u64);
+                    let (mut gets, mut puts, mut removes, mut ranges, mut hits) =
+                        (0u64, 0u64, 0u64, 0u64, 0u64);
                     for (i, &(key, roll)) in ops.iter().enumerate() {
                         if roll < write_below {
                             if roll % 8 == 0 {
@@ -673,24 +699,30 @@ pub fn measure_mixed_cell(
                                 svc.put(key, i as u64);
                                 puts += 1;
                             }
+                        } else if roll < range_below {
+                            svc.get_range(key, key + cfg.range_span);
+                            ranges += 1;
                         } else {
                             hits += svc.get(key).is_some() as u64;
                             gets += 1;
                         }
                     }
-                    (gets, puts, removes, hits)
+                    (gets, puts, removes, ranges, hits)
                 })
             })
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
     let elapsed_ns = t0.elapsed().as_nanos() as f64;
+    // Settle the background merger so delta/merge columns are the
+    // cell's fixpoint, not a race with the last write.
+    svc.store().quiesce();
     let stats = svc.stats();
-    let (gets, puts, removes, hits) = totals.into_iter().fold(
-        (0u64, 0u64, 0u64, 0u64),
-        |(g, p, r, h), (cg, cp, cr, ch)| (g + cg, p + cp, r + cr, h + ch),
+    let (gets, puts, removes, range_scans, hits) = totals.into_iter().fold(
+        (0u64, 0u64, 0u64, 0u64, 0u64),
+        |(g, p, r, s, h), (cg, cp, cr, cs, ch)| (g + cg, p + cp, r + cr, s + cs, h + ch),
     );
-    let requests = gets + puts + removes;
+    let requests = gets + puts + removes + range_scans;
     MixedCell {
         backend,
         shards,
@@ -699,7 +731,10 @@ pub fn measure_mixed_cell(
         gets,
         puts,
         removes,
+        range_scans,
         cache_hits: stats.cache_hits,
+        delta_hits: stats.delta_hits,
+        residual_frac: stats.residual_frac(),
         hits,
         elapsed_ns,
         throughput_rps: requests as f64 / (elapsed_ns * 1e-9),
@@ -710,6 +745,7 @@ pub fn measure_mixed_cell(
         batches: stats.batches,
         mean_batch: stats.mean_batch(),
         merges: stats.merges,
+        bg_merges: stats.bg_merges,
         merge_p50_ns: stats.merge_latency.p50(),
         delta_keys: stats.delta_keys,
     }
@@ -734,7 +770,7 @@ pub fn run_mixed_sweep(
     cells
 }
 
-/// Serialize a finished mixed sweep to the `isi-serve-mixed/v1`
+/// Serialize a finished mixed sweep to the `isi-serve-mixed/v2`
 /// document.
 pub fn to_mixed_json(cfg: &MixedBenchCfg, cells: &[MixedCell]) -> Json {
     let results: Vec<Json> = cells
@@ -748,7 +784,13 @@ pub fn to_mixed_json(cfg: &MixedBenchCfg, cells: &[MixedCell]) -> Json {
                 ("gets", num(c.gets as f64)),
                 ("puts", num(c.puts as f64)),
                 ("removes", num(c.removes as f64)),
+                ("range_scans", num(c.range_scans as f64)),
                 ("cache_hits", num(c.cache_hits as f64)),
+                ("delta_hits", num(c.delta_hits as f64)),
+                (
+                    "residual_frac",
+                    num((c.residual_frac * 10_000.0).round() / 10_000.0),
+                ),
                 ("hits", num(c.hits as f64)),
                 ("elapsed_ns", num(c.elapsed_ns.round())),
                 ("throughput_rps", num(c.throughput_rps.round())),
@@ -759,6 +801,7 @@ pub fn to_mixed_json(cfg: &MixedBenchCfg, cells: &[MixedCell]) -> Json {
                 ("batches", num(c.batches as f64)),
                 ("mean_batch", num((c.mean_batch * 100.0).round() / 100.0)),
                 ("merges", num(c.merges as f64)),
+                ("bg_merges", num(c.bg_merges as f64)),
                 ("merge_p50_ns", num(c.merge_p50_ns as f64)),
                 ("delta_keys", num(c.delta_keys as f64)),
             ])
@@ -797,6 +840,9 @@ pub fn to_mixed_json(cfg: &MixedBenchCfg, cells: &[MixedCell]) -> Json {
                 ("store_keys", num(cfg.store_keys as f64)),
                 ("clients", num(cfg.clients as f64)),
                 ("requests_per_client", num(cfg.requests_per_client as f64)),
+                ("range_fraction", num(cfg.range_fraction)),
+                ("range_span", num(cfg.range_span as f64)),
+                ("bg_merge", Json::Bool(cfg.bg_merge)),
                 ("merge_threshold", num(cfg.merge_threshold as f64)),
                 ("hot_cache_slots", num(cfg.hot_cache_slots as f64)),
                 (
@@ -816,8 +862,10 @@ pub fn to_mixed_json(cfg: &MixedBenchCfg, cells: &[MixedCell]) -> Json {
 
 /// Validate a mixed-sweep document: schema tag, exactly one cell per
 /// `backend × shard count × write fraction` the config declares, full
-/// op coverage, coherent op/merge counters and monotone latency
-/// quantiles.
+/// op coverage (gets + puts + removes + range scans), coherent
+/// op/merge/plan counters (background-merge accounting must match the
+/// config's `bg_merge`, `residual_frac` must be a fraction) and
+/// monotone latency quantiles.
 pub fn verify_mixed(doc: &Json) -> Result<(), String> {
     if doc.get("schema").and_then(Json::as_str) != Some(MIXED_SCHEMA) {
         return Err(format!("schema tag is not {MIXED_SCHEMA:?}"));
@@ -865,6 +913,17 @@ pub fn verify_mixed(doc: &Json) -> Result<(), String> {
             .get("requests_per_client")
             .and_then(Json::as_usize)
             .ok_or("missing config.requests_per_client")?;
+    let bg_merge = config
+        .get("bg_merge")
+        .and_then(Json::as_bool)
+        .ok_or("missing config.bg_merge")?;
+    let range_fraction = config
+        .get("range_fraction")
+        .and_then(Json::as_f64)
+        .ok_or("missing config.range_fraction")?;
+    if !(0.0..=1.0).contains(&range_fraction) {
+        return Err(format!("range fraction {range_fraction} outside [0, 1]"));
+    }
     let results = doc
         .get("results")
         .and_then(Json::as_arr)
@@ -895,9 +954,14 @@ pub fn verify_mixed(doc: &Json) -> Result<(), String> {
                 if !(rate.is_finite() && rate > 0.0) {
                     return Err(format!("non-positive throughput for {cell_name}"));
                 }
-                let (gets, puts, removes) = (count("gets"), count("puts"), count("removes"));
+                let (gets, puts, removes, range_scans) = (
+                    count("gets"),
+                    count("puts"),
+                    count("removes"),
+                    count("range_scans"),
+                );
                 if count("requests") != expected_requests as f64
-                    || gets + puts + removes != expected_requests as f64
+                    || gets + puts + removes + range_scans != expected_requests as f64
                 {
                     return Err(format!(
                         "cell {cell_name} did not answer all {expected_requests} requests"
@@ -908,8 +972,31 @@ pub fn verify_mixed(doc: &Json) -> Result<(), String> {
                         "read-only cell {cell_name} recorded writes or merges"
                     ));
                 }
+                if range_fraction > 0.0 && f < 1.0 && range_scans == 0.0 {
+                    return Err(format!(
+                        "cell {cell_name} ran no range scans despite range_fraction > 0"
+                    ));
+                }
                 if count("hits") > gets || count("cache_hits") > gets {
                     return Err(format!("cell {cell_name} hit counters exceed reads"));
+                }
+                let (merges, bg_merges) = (count("merges"), count("bg_merges"));
+                if bg_merge && bg_merges != merges {
+                    return Err(format!(
+                        "cell {cell_name}: background mode but bg_merges ({bg_merges}) != \
+                         merges ({merges})"
+                    ));
+                }
+                if !bg_merge && bg_merges != 0.0 {
+                    return Err(format!(
+                        "cell {cell_name}: foreground mode but bg_merges = {bg_merges}"
+                    ));
+                }
+                let rf = count("residual_frac");
+                if !(0.0..=1.0).contains(&rf) {
+                    return Err(format!(
+                        "cell {cell_name}: residual_frac {rf} outside [0, 1]"
+                    ));
                 }
                 let (p50, p95, p99) = (count("p50_ns"), count("p95_ns"), count("p99_ns"));
                 if !(0.0 <= p50 && p50 <= p95 && p95 <= p99) {
@@ -976,6 +1063,9 @@ mod tests {
             store_keys: 512,
             clients: 2,
             requests_per_client: 64,
+            range_fraction: 0.15,
+            range_span: 64,
+            bg_merge: true,
             merge_threshold: 16,
             hot_cache_slots: 16,
             policy: PolicySpec {
@@ -994,10 +1084,14 @@ mod tests {
         assert_eq!(cells.len(), 3 * 2 * 2);
         for c in &cells {
             assert_eq!(c.requests, 128);
-            assert_eq!(c.gets + c.puts + c.removes, 128);
+            assert_eq!(c.gets + c.puts + c.removes + c.range_scans, 128);
+            assert!(c.range_scans > 0);
+            assert_eq!(c.bg_merges, c.merges);
+            assert!((0.0..=1.0).contains(&c.residual_frac));
             if c.write_fraction == 0.0 {
                 assert_eq!(c.puts + c.removes, 0);
                 assert_eq!(c.merges, 0);
+                assert_eq!(c.delta_hits, 0);
             } else {
                 // A quarter of 128 ops are writes: with threshold 16
                 // at least one shard must have merged.
@@ -1007,6 +1101,23 @@ mod tests {
         let doc = to_mixed_json(&cfg, &cells);
         verify_mixed(&doc).expect("self-produced mixed document must verify");
         verify_any_text(&doc.to_pretty()).expect("round-trip verify via schema dispatch");
+    }
+
+    #[test]
+    fn mixed_sweep_foreground_toggle_verifies() {
+        let cfg = MixedBenchCfg {
+            bg_merge: false,
+            backends: vec![Backend::Csb],
+            shard_counts: vec![1],
+            write_fractions: vec![0.25],
+            ..tiny_mixed_cfg()
+        };
+        let cells = run_mixed_sweep(&cfg, |_| {});
+        assert_eq!(cells.len(), 1);
+        assert!(cells[0].merges > 0, "foreground merges must still run");
+        assert_eq!(cells[0].bg_merges, 0);
+        let doc = to_mixed_json(&cfg, &cells);
+        verify_mixed(&doc).expect("foreground document must verify");
     }
 
     #[test]

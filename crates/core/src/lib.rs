@@ -39,6 +39,10 @@
 //! * [`policy`] — the shared [`Interleave`](policy::Interleave)
 //!   execution-policy type (sequential vs interleaved-with-group-size)
 //!   used by every operator in the workspace.
+//! * [`backend`] — the [`ShardBackend`](backend::ShardBackend)
+//!   contract between the serving layer and the index structures that
+//!   serve one shard's main (batched probes, range scans, merge-time
+//!   rebuilds).
 //! * [`epoch`] — the [`EpochCell`](epoch::EpochCell) versioned-`Arc`
 //!   swap the writable serving layer publishes merged shard versions
 //!   through (readers snapshot, writers swap, nobody blocks long).
@@ -97,6 +101,7 @@
 //! assert_eq!(out, [2, 50, 1023]);
 //! ```
 
+pub mod backend;
 pub mod coro;
 pub mod epoch;
 pub mod mem;
@@ -107,6 +112,7 @@ pub mod prefetch;
 pub mod sched;
 pub mod stats;
 
+pub use backend::ShardBackend;
 pub use coro::{suspend, CoroHandle, Suspend};
 pub use epoch::EpochCell;
 pub use mem::{DirectMem, IndexedMem};

@@ -22,6 +22,7 @@
 
 pub mod lookup;
 pub mod node;
+pub mod shard;
 pub mod store;
 pub mod tree;
 
@@ -30,5 +31,6 @@ pub use lookup::{
     lookup_seq,
 };
 pub use node::{InnerNode, LeafNode, NODE_CAP};
+pub use shard::CsbShard;
 pub use store::{DirectTreeStore, SimTreeStore, TreeStore};
 pub use tree::CsbTree;

@@ -25,6 +25,7 @@
 pub mod build;
 pub mod join;
 pub mod probe;
+pub mod shard;
 pub mod table;
 
 pub use build::{build_gp, build_seq};
@@ -34,4 +35,5 @@ pub use probe::{
     bulk_probe_amac, bulk_probe_interleaved, bulk_probe_par, bulk_probe_seq, probe_coro,
     probe_coro_on,
 };
+pub use shard::HashShard;
 pub use table::{ChainedHashTable, HashKey};

@@ -30,6 +30,7 @@ pub mod key;
 pub mod locate;
 pub mod par;
 pub mod seq;
+pub mod shard;
 pub mod sorted;
 pub mod spp;
 
@@ -47,5 +48,6 @@ pub use par::{
 pub use seq::{
     bulk_rank_branchfree, bulk_rank_branchy, rank_branchfree, rank_branchy, rank_oracle,
 };
+pub use shard::SortedShard;
 pub use sorted::{bulk_rank_sorted, bulk_rank_sorted_interleaved};
 pub use spp::bulk_rank_spp;

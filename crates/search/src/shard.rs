@@ -1,0 +1,159 @@
+//! [`SortedShard`]: the sorted-column [`ShardBackend`] — the serving
+//! layer's "sorted" main index.
+//!
+//! A key column and an aligned value column, both sorted by key. Batch
+//! lookups rank through the interleaved binary-search coroutines
+//! ([`crate::par::bulk_rank_coro_par`]) and resolve rank → value with
+//! one equality check; range scans are two `partition_point`s and a
+//! slice copy — the cheapest `scan_range` of the three backends.
+
+use std::sync::Arc;
+
+use isi_core::backend::ShardBackend;
+use isi_core::mem::DirectMem;
+use isi_core::par::ParConfig;
+use isi_core::policy::Interleave;
+use isi_core::sched::RunStats;
+
+/// A sorted key column plus aligned value column, servable in bulk by
+/// the interleaved binary-search drivers.
+pub struct SortedShard {
+    keys: Vec<u64>,
+    vals: Vec<u64>,
+}
+
+impl SortedShard {
+    /// Build from strictly-sorted, duplicate-free pairs.
+    pub fn build(pairs: &[(u64, u64)]) -> Self {
+        debug_assert!(
+            pairs.windows(2).all(|w| w[0].0 < w[1].0),
+            "pairs must be strictly sorted by key"
+        );
+        Self {
+            keys: pairs.iter().map(|&(k, _)| k).collect(),
+            vals: pairs.iter().map(|&(_, v)| v).collect(),
+        }
+    }
+
+    /// The sorted key column.
+    pub fn keys(&self) -> &[u64] {
+        &self.keys
+    }
+}
+
+impl ShardBackend for SortedShard {
+    fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    fn get(&self, key: u64) -> Option<u64> {
+        self.keys.binary_search(&key).ok().map(|i| self.vals[i])
+    }
+
+    fn probe_batch(
+        &self,
+        keys: &[u64],
+        policy: Interleave,
+        par: ParConfig,
+        scratch: &mut Vec<u32>,
+        out: &mut [Option<u64>],
+    ) -> RunStats {
+        assert_eq!(keys.len(), out.len(), "output length mismatch");
+        if self.keys.is_empty() {
+            out.fill(None);
+            return RunStats::default();
+        }
+        // Rank via the interleaved binary-search coroutines, then
+        // resolve rank -> value with one equality check (the rank
+        // position is cache-hot right after the search touched it).
+        let mem = DirectMem::new(&self.keys);
+        scratch.clear();
+        scratch.resize(keys.len(), 0);
+        let stats = crate::par::bulk_rank_coro_par(mem, keys, policy.group_or_one(), par, scratch);
+        for ((o, &r), &k) in out.iter_mut().zip(scratch.iter()).zip(keys) {
+            *o = (self.keys[r as usize] == k).then(|| self.vals[r as usize]);
+        }
+        stats
+    }
+
+    fn scan_range(&self, lo: u64, hi: u64, out: &mut Vec<(u64, u64)>) {
+        if lo > hi {
+            return;
+        }
+        let a = self.keys.partition_point(|&k| k < lo);
+        let b = self.keys.partition_point(|&k| k <= hi);
+        out.extend(
+            self.keys[a..b]
+                .iter()
+                .copied()
+                .zip(self.vals[a..b].iter().copied()),
+        );
+    }
+
+    fn rebuild(&self, pairs: &[(u64, u64)]) -> Arc<dyn ShardBackend> {
+        Arc::new(Self::build(pairs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shard(n: u64) -> SortedShard {
+        SortedShard::build(&(0..n).map(|i| (i * 3, i + 100)).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn get_and_probe_agree() {
+        let s = shard(1000);
+        let probes: Vec<u64> = (0..1500).map(|i| i * 2).collect();
+        let mut out = vec![None; probes.len()];
+        let mut scratch = Vec::new();
+        let stats = s.probe_batch(
+            &probes,
+            Interleave::Interleaved(6),
+            ParConfig::with_threads(2),
+            &mut scratch,
+            &mut out,
+        );
+        assert_eq!(stats.lookups, probes.len() as u64);
+        for (&k, &r) in probes.iter().zip(&out) {
+            assert_eq!(r, s.get(k), "key={k}");
+        }
+    }
+
+    #[test]
+    fn scan_range_matches_filter() {
+        let s = shard(300);
+        for (lo, hi) in [(0, 0), (5, 100), (99, 301), (0, u64::MAX), (200, 100)] {
+            let mut got = Vec::new();
+            s.scan_range(lo, hi, &mut got);
+            let want: Vec<(u64, u64)> = s
+                .pairs()
+                .into_iter()
+                .filter(|&(k, _)| lo <= k && k <= hi)
+                .collect();
+            assert_eq!(got, want, "[{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn rebuild_roundtrip_and_empty() {
+        let s = shard(50);
+        let rebuilt = s.rebuild(&s.pairs());
+        assert_eq!(rebuilt.pairs(), s.pairs());
+        let empty = SortedShard::build(&[]);
+        assert!(empty.is_empty());
+        assert_eq!(empty.get(7), None);
+        let mut out = vec![None; 2];
+        let mut scratch = Vec::new();
+        empty.probe_batch(
+            &[1, 2],
+            Interleave::Sequential,
+            ParConfig::default(),
+            &mut scratch,
+            &mut out,
+        );
+        assert_eq!(out, [None, None]);
+    }
+}

@@ -9,36 +9,47 @@
 //!
 //! 1. **Shard** — a [`ShardedStore`](store::ShardedStore)
 //!    hash-partitions the data across power-of-two shards. Each shard
-//!    is a **Main/Delta pair**: an immutable main index (sorted
-//!    column, CSB+-tree, or chained hash table) servable by the bulk
-//!    interleaved drivers, plus a small sorted-run delta of upserts
-//!    and tombstones (last-write-wins) consulted after the main batch
-//!    resolves. When a delta reaches
-//!    [`StoreConfig::merge_threshold`](store::StoreConfig), a merge
-//!    rebuilds the shard's main and publishes it through an
-//!    [`EpochCell`](isi_core::epoch::EpochCell) swap — in-flight
-//!    batches finish on the version they started with, and writers
-//!    never block readers.
+//!    is a **Main/Delta pair**: an immutable main behind the
+//!    [`ShardBackend`](isi_core::backend::ShardBackend) trait (sorted
+//!    column, CSB+-tree, or chained hash table — batched probes,
+//!    ordered range scans, merge-time rebuilds), plus a small
+//!    sorted-run delta of upserts and tombstones (last-write-wins).
 //! 2. **Admit & batch** — a [`LookupService`](service::LookupService)
 //!    runs one dispatcher per shard; `get`/`put`/`remove` enqueue into
 //!    the owning shard's bounded admission queue (blocking when full —
 //!    backpressure) and wait on a ticket, while
-//!    [`get_many`](service::LookupService::get_many) pre-partitions a
-//!    key slice client-side and submits one entry per shard. Per-shard
-//!    FIFO gives every client read-your-writes.
-//! 3. **Dispatch** — the dispatcher flushes a batch when `max_batch`
-//!    entries are queued or the oldest has waited `max_wait`
-//!    ([`BatchPolicy`](service::BatchPolicy)), drives consecutive
-//!    reads through the morsel-parallel interleaved engine
-//!    ([`isi_core::par`]), applies writes in admission order between
-//!    read runs, and routes each result back through its ticket. An
-//!    optional per-shard hot-key cache answers repeat `get`s without
-//!    dispatch and is invalidated by the write path.
-//! 4. **Measure** — per-entry latency (admission → response) lands in
+//!    [`get_many`](service::LookupService::get_many) and
+//!    [`get_range`](service::LookupService::get_range) pre-partition
+//!    client-side and submit one entry per shard. Per-shard FIFO gives
+//!    every client read-your-writes.
+//! 3. **Plan & dispatch** — the dispatcher flushes a batch when
+//!    `max_batch` entries are queued or the oldest has waited
+//!    `max_wait` ([`BatchPolicy`](service::BatchPolicy)), resolves
+//!    each read run against the delta into a
+//!    [`BatchPlan`](plan::BatchPlan) (delta-decided keys skip the
+//!    engine), drives the dense residual through the morsel-parallel
+//!    interleaved engine ([`isi_core::par`]), applies writes and range
+//!    scans in admission order between read runs, and routes each
+//!    result back through its ticket. An optional per-shard hot-key
+//!    cache answers repeat `get`s without dispatch and is invalidated
+//!    by the write path.
+//! 4. **Maintain in the background** — a threshold-crossing write
+//!    *enqueues a merge job*; the store's background merger thread
+//!    rebuilds that shard's main and publishes it through an
+//!    [`EpochCell`](isi_core::epoch::EpochCell) swap while the delta
+//!    keeps absorbing writes up to a hard
+//!    [`StoreConfig::max_delta`](store::StoreConfig) bound. In-flight
+//!    batches finish on the version they started with; no request's
+//!    latency absorbs a rebuild
+//!    ([`MergeMode::Foreground`](store::MergeMode) retains the old
+//!    inline behavior for A/B runs).
+//! 5. **Measure** — per-entry latency (admission → response) lands in
 //!    a log-bucketed [`LatencyHist`](isi_core::stats::LatencyHist),
 //!    and [`ServeStats`](service::ServeStats) adds write, cache,
-//!    delta-size and merge-latency counters, so both dials the system
-//!    exposes (flush policy, merge threshold) are observable.
+//!    plan (`delta_hits`, `residual_frac`), range-scan, delta-size,
+//!    merge-backlog and merge-latency counters, so every dial the
+//!    system exposes (flush policy, merge threshold, merge mode) is
+//!    observable.
 //!
 //! ```
 //! use isi_serve::{Backend, LookupService, ServeConfig, ShardedStore};
@@ -61,10 +72,19 @@
 //!     vec![Some(7), Some(1), None],
 //! );
 //! assert_eq!(svc.stats().many_keys, 3);
+//!
+//! // Ordered range scan: every shard's Main/Delta slice merge-joined
+//! // (the pending put of 84 is visible) and reordered client-side.
+//! assert_eq!(
+//!     svc.get_range(80, 88),
+//!     vec![(80, 40), (82, 41), (84, 7), (86, 43), (88, 44)],
+//! );
 //! ```
 
+pub mod plan;
 pub mod service;
 pub mod store;
 
+pub use plan::BatchPlan;
 pub use service::{BatchPolicy, LookupService, ServeConfig, ServeStats};
-pub use store::{Backend, ShardedStore, StoreConfig};
+pub use store::{Backend, BatchOutcome, LookupScratch, MergeMode, ShardedStore, StoreConfig};

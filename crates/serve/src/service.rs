@@ -25,6 +25,24 @@
 //! costs one queue round-trip per touched shard instead of n — the
 //! client manufactures the batch the engine wants.
 //!
+//! **`get_range`** rides the same admission queues: one entry per
+//! shard, executed in FIFO position (so a client's completed writes
+//! are visible to its next scan), each answering with the shard's
+//! merge-joined Main/Delta slice; the client reorders the per-shard
+//! runs into one sorted result.
+//!
+//! **Dispatched reads are planned.** Each read run is resolved against
+//! the shard's delta before the engine sees it (see [`crate::plan`]):
+//! delta-decided keys are answered from the sorted run and only the
+//! residual probes the main index. The split shows up in
+//! [`ServeStats::delta_hits`] and [`ServeStats::residual_frac`].
+//!
+//! **Merges never run here.** A threshold-crossing write enqueues a
+//! job for the store's background merger thread
+//! ([`MergeMode::Background`](crate::store::MergeMode)); the
+//! dispatcher applies the write to the delta and moves on, so no
+//! request's latency absorbs a rebuild.
+//!
 //! An optional per-shard **hot-key cache** sits in front of the
 //! admission queue: a tiny direct-mapped map filled by the dispatcher
 //! with single-`get` results and invalidated by the write path before
@@ -49,7 +67,7 @@ use isi_core::sched::RunStats;
 use isi_core::stats::LatencyHist;
 use isi_hash::table::HashKey;
 
-use crate::store::ShardedStore;
+use crate::store::{LookupScratch, ShardedStore};
 
 /// When a shard's dispatcher flushes its admission queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -137,6 +155,10 @@ impl<T> Ticket<T> {
 /// submitted key, in submission order.
 type ManyTicket = Arc<Ticket<Vec<Option<u64>>>>;
 
+/// The ticket type of one shard's `get_range` slice: that shard's
+/// pairs in the range, sorted by key.
+type RangeTicket = Arc<Ticket<Vec<(u64, u64)>>>;
+
 /// One queued operation.
 enum Op {
     Get {
@@ -156,6 +178,14 @@ enum Op {
     /// to this shard; the ticket receives one result per key, in key
     /// order.
     GetMany { keys: Vec<u64>, ticket: ManyTicket },
+    /// One shard's slice of a client `get_range` call: the ticket
+    /// receives this shard's live pairs with `lo <= key <= hi`,
+    /// sorted.
+    Range {
+        lo: u64,
+        hi: u64,
+        ticket: RangeTicket,
+    },
 }
 
 /// One admission entry: the operation and its admission time.
@@ -236,6 +266,8 @@ struct ShardMetrics {
     puts: u64,
     removes: u64,
     many_keys: u64,
+    range_scans: u64,
+    delta_hits: u64,
     batches: u64,
     full_flushes: u64,
     timeout_flushes: u64,
@@ -244,11 +276,20 @@ struct ShardMetrics {
 
 /// Aggregated service metrics (summed over shards, plus the store's
 /// write-side counters).
+///
+/// **Admission entries vs client calls.** [`requests`](Self::requests)
+/// counts *admission entries* — what the dispatchers actually answer.
+/// A single-key `get`/`put`/`remove` is one entry; a `get_many` or
+/// `get_range` call fans out into one entry *per shard it touches*
+/// (so one `get_range` on an 8-shard store adds 8 to `requests` and 8
+/// to `range_scans`). Cache hits never reach a queue and are counted
+/// only in [`cache_hits`](Self::cache_hits). The client-call view is
+/// `gets + cache_hits` single-key reads, `many_keys` keys through
+/// `get_many`, plus the write counters.
 #[derive(Debug, Clone, Default)]
 pub struct ServeStats {
-    /// Admission entries answered (a `get_many` call counts one per
-    /// shard it touched). Cache hits are *not* admitted and are
-    /// counted separately.
+    /// Admission entries answered (see the type docs: one per shard
+    /// touched for `get_many`/`get_range`; cache hits excluded).
     pub requests: u64,
     /// Single-key reads answered via dispatch.
     pub gets: u64,
@@ -258,8 +299,14 @@ pub struct ServeStats {
     pub removes: u64,
     /// Keys answered through `get_many` entries.
     pub many_keys: u64,
+    /// Range-scan admission entries answered (one per shard per
+    /// client `get_range` call).
+    pub range_scans: u64,
     /// `get`s answered by the hot-key cache, without admission.
     pub cache_hits: u64,
+    /// Dispatched read keys decided by the delta in the plan stage —
+    /// these never reached the engine.
+    pub delta_hits: u64,
     /// Batches dispatched.
     pub batches: u64,
     /// Batches flushed because `max_batch` was reached.
@@ -269,10 +316,19 @@ pub struct ServeStats {
     pub timeout_flushes: u64,
     /// Per-entry latency (enqueue → response routed), nanoseconds.
     pub latency: LatencyHist,
-    /// Merged interleaved-engine counters across all dispatches.
+    /// Merged interleaved-engine counters across all dispatches
+    /// (`engine.lookups` counts only residual keys — the batch minus
+    /// `delta_hits`).
     pub engine: RunStats,
-    /// Delta-to-main merges performed by the store since build.
+    /// Delta-to-main merges performed by the store since build (both
+    /// modes).
     pub merges: u64,
+    /// Merges performed by the store's background merger thread
+    /// (= `merges` in background mode, 0 in foreground mode).
+    pub bg_merges: u64,
+    /// Merge jobs queued or in flight at the moment `stats()` was
+    /// called (a point-in-time gauge, not a counter).
+    pub merge_backlog: u64,
     /// Merge wall latency (nanoseconds).
     pub merge_latency: LatencyHist,
     /// Current delta entries across all shards of the store.
@@ -286,6 +342,19 @@ impl ServeStats {
             0.0
         } else {
             self.requests as f64 / self.batches as f64
+        }
+    }
+
+    /// Fraction of dispatched read keys that reached the engine
+    /// (`engine.lookups / (engine.lookups + delta_hits)`). 1.0 when
+    /// the delta decided nothing (or nothing was dispatched); a
+    /// write-heavy shard with a warm delta drives this below 1.
+    pub fn residual_frac(&self) -> f64 {
+        let total = self.engine.lookups + self.delta_hits;
+        if total == 0 {
+            1.0
+        } else {
+            self.engine.lookups as f64 / total as f64
         }
     }
 }
@@ -474,6 +543,44 @@ impl LookupService {
         results
     }
 
+    /// All live pairs with `lo <= key <= hi`, sorted by key.
+    ///
+    /// Hash partitioning scatters a key range across every shard, so
+    /// the call submits one admission entry per shard, waits for all
+    /// of them, and reorders the per-shard sorted runs into one sorted
+    /// result. Riding the FIFO queues means a client's completed
+    /// writes are visible to its next scan; the cross-shard cut is not
+    /// atomic (same contract as `get_many`). An inverted range returns
+    /// an empty result without admission.
+    pub fn get_range(&self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
+        self.assert_open();
+        if lo > hi {
+            return Vec::new();
+        }
+        let waits: Vec<RangeTicket> = (0..self.store.num_shards())
+            .map(|shard| {
+                let ticket = Arc::new(Ticket::new());
+                self.enqueue(
+                    shard,
+                    Op::Range {
+                        lo,
+                        hi,
+                        ticket: Arc::clone(&ticket),
+                    },
+                );
+                ticket
+            })
+            .collect();
+        let mut out = Vec::new();
+        for ticket in waits {
+            out.extend(ticket.wait());
+        }
+        // Per-shard runs are sorted but interleave arbitrarily under
+        // hash partitioning; one global reorder restores key order.
+        out.sort_unstable_by_key(|&(k, _)| k);
+        out
+    }
+
     /// Upsert `key = val` through the owning shard's queue; blocks
     /// until applied and returns the previously visible value.
     pub fn put(&self, key: u64, val: u64) -> Option<u64> {
@@ -514,6 +621,8 @@ impl LookupService {
             total.puts += m.puts;
             total.removes += m.removes;
             total.many_keys += m.many_keys;
+            total.range_scans += m.range_scans;
+            total.delta_hits += m.delta_hits;
             total.cache_hits += state.cache_hits.load(Ordering::Relaxed);
             total.batches += m.batches;
             total.full_flushes += m.full_flushes;
@@ -522,6 +631,8 @@ impl LookupService {
             total.engine.merge(&m.engine);
         }
         total.merges = self.store.merges();
+        total.bg_merges = self.store.bg_merges();
+        total.merge_backlog = self.store.merge_backlog() as u64;
         total.merge_latency = self.store.merge_latency();
         total.delta_keys = self.store.delta_len() as u64;
         total
@@ -559,7 +670,7 @@ struct DispatchBufs {
     /// entry of the current run.
     run_spans: Vec<(usize, usize, usize)>,
     out: Vec<Option<u64>>,
-    scratch: Vec<u32>,
+    scratch: LookupScratch,
 }
 
 /// The per-shard dispatcher: wait for work, flush on `max_batch` or
@@ -572,7 +683,7 @@ fn dispatch_loop(store: &ShardedStore, shard: usize, state: &ShardState, cfg: Se
         run_keys: Vec::with_capacity(cfg.batch.max_batch),
         run_spans: Vec::with_capacity(cfg.batch.max_batch),
         out: Vec::with_capacity(cfg.batch.max_batch),
-        scratch: Vec::new(),
+        scratch: LookupScratch::default(),
     };
     let mut q = state.q.lock().unwrap();
     loop {
@@ -608,9 +719,12 @@ fn dispatch_loop(store: &ShardedStore, shard: usize, state: &ShardState, cfg: Se
 }
 
 /// Execute one drained batch in admission order: maximal runs of
-/// consecutive reads go through the interleaved engine as one batch;
-/// writes apply one at a time between runs (each invalidating its
-/// hot-cache slot *before* its ticket is fulfilled).
+/// consecutive point reads are planned against the delta and the
+/// residual goes through the interleaved engine as one batch; writes
+/// and range scans apply one at a time between runs (each write
+/// invalidating its hot-cache slot *before* its ticket is fulfilled).
+/// Writes only append to the delta — a threshold crossing enqueues a
+/// background merge job, it never rebuilds here.
 ///
 /// Counter updates and the corresponding ticket fulfillments happen
 /// under one metrics-lock acquisition, so the moment a caller's wait
@@ -659,7 +773,7 @@ fn execute_batch(
         if !bufs.run_keys.is_empty() {
             bufs.out.clear();
             bufs.out.resize(bufs.run_keys.len(), None);
-            let engine = store.lookup_batch(
+            let outcome = store.lookup_batch(
                 shard,
                 &bufs.run_keys,
                 cfg.policy,
@@ -679,7 +793,8 @@ fn execute_batch(
                 }
             }
             let mut m = state.metrics.lock().unwrap();
-            m.engine.merge(&engine);
+            m.engine.merge(&outcome.engine);
+            m.delta_hits += outcome.delta_hits;
             for &(ei, start, len) in &bufs.run_spans {
                 let entry = &bufs.batch[ei];
                 match &entry.op {
@@ -697,29 +812,46 @@ fn execute_batch(
                 m.hist.record(entry.enqueued.elapsed().as_nanos() as u64);
             }
         }
-        // Apply the writes that ended the run, in admission order.
-        // The store write (which may merge-rebuild the shard) and the
-        // cache invalidation run unlocked; only the counter-update +
-        // fulfill pair takes the metrics lock.
+        // Apply the writes and range scans that ended the run, in
+        // admission order. The store write (which may block briefly at
+        // the max_delta bound), the range scan and the cache
+        // invalidation run unlocked; only the counter-update + fulfill
+        // pair takes the metrics lock.
         while i < bufs.batch.len() {
             let entry = &bufs.batch[i];
-            let (key, result, ticket, is_put) = match &entry.op {
-                Op::Put { key, val, ticket } => (*key, store.put(*key, *val), ticket, true),
-                Op::Remove { key, ticket } => (*key, store.remove(*key), ticket, false),
-                _ => break,
-            };
-            if let Some(cache) = &state.cache {
-                cache.lock().unwrap().invalidate(key);
+            match &entry.op {
+                Op::Get { .. } | Op::GetMany { .. } => break,
+                Op::Put { key, val, ticket } => {
+                    let result = store.put(*key, *val);
+                    if let Some(cache) = &state.cache {
+                        cache.lock().unwrap().invalidate(*key);
+                    }
+                    let mut m = state.metrics.lock().unwrap();
+                    m.puts += 1;
+                    ticket.fulfill(result);
+                    m.requests += 1;
+                    m.hist.record(entry.enqueued.elapsed().as_nanos() as u64);
+                }
+                Op::Remove { key, ticket } => {
+                    let result = store.remove(*key);
+                    if let Some(cache) = &state.cache {
+                        cache.lock().unwrap().invalidate(*key);
+                    }
+                    let mut m = state.metrics.lock().unwrap();
+                    m.removes += 1;
+                    ticket.fulfill(result);
+                    m.requests += 1;
+                    m.hist.record(entry.enqueued.elapsed().as_nanos() as u64);
+                }
+                Op::Range { lo, hi, ticket } => {
+                    let pairs = store.scan_range(shard, *lo, *hi);
+                    let mut m = state.metrics.lock().unwrap();
+                    m.range_scans += 1;
+                    ticket.fulfill(pairs);
+                    m.requests += 1;
+                    m.hist.record(entry.enqueued.elapsed().as_nanos() as u64);
+                }
             }
-            let mut m = state.metrics.lock().unwrap();
-            if is_put {
-                m.puts += 1;
-            } else {
-                m.removes += 1;
-            }
-            ticket.fulfill(result);
-            m.requests += 1;
-            m.hist.record(entry.enqueued.elapsed().as_nanos() as u64);
             i += 1;
         }
     }
@@ -883,12 +1015,8 @@ mod tests {
     #[test]
     fn writes_are_read_your_writes_per_client() {
         for backend in Backend::ALL {
-            let store = ShardedStore::build_with(
-                backend,
-                2,
-                &pairs(500),
-                StoreConfig { merge_threshold: 4 },
-            );
+            let store =
+                ShardedStore::build_with(backend, 2, &pairs(500), StoreConfig::with_threshold(4));
             let svc = LookupService::start(
                 store,
                 ServeConfig {
@@ -958,7 +1086,7 @@ mod tests {
             Backend::Hash,
             2,
             &pairs(100),
-            StoreConfig { merge_threshold: 2 },
+            StoreConfig::with_threshold(2),
         );
         let svc = LookupService::start(
             store,
@@ -1018,8 +1146,7 @@ mod tests {
         // Concurrent clients on disjoint keys: each client's own
         // sequence of put/get/remove must read its own writes even
         // while batches mix clients and writes force merges.
-        let store =
-            ShardedStore::build_with(Backend::Csb, 2, &[], StoreConfig { merge_threshold: 3 });
+        let store = ShardedStore::build_with(Backend::Csb, 2, &[], StoreConfig::with_threshold(3));
         let svc = LookupService::start(
             store,
             ServeConfig {
@@ -1045,12 +1172,87 @@ mod tests {
                 });
             }
         });
+        // Merges run behind the dispatchers; settle before counting.
+        svc.store().quiesce();
         let stats = svc.stats();
         assert_eq!(stats.requests, 4 * 40 * 4);
         assert_eq!(stats.puts, 160);
         assert_eq!(stats.removes, 160);
         assert!(stats.merges > 0);
+        assert_eq!(stats.bg_merges, stats.merges);
+        assert_eq!(stats.merge_backlog, 0);
         assert!(svc.store().is_empty());
+    }
+
+    #[test]
+    fn get_range_rides_the_queues_and_sees_writes() {
+        for backend in Backend::ALL {
+            let store =
+                ShardedStore::build_with(backend, 4, &pairs(500), StoreConfig::with_threshold(8));
+            let svc = LookupService::start(
+                store,
+                ServeConfig {
+                    batch: BatchPolicy {
+                        max_batch: 8,
+                        max_wait: Duration::from_micros(100),
+                    },
+                    ..ServeConfig::default()
+                },
+            );
+            // A client's completed writes are visible to its next scan.
+            assert_eq!(svc.put(10, 777), Some(5));
+            assert_eq!(svc.put(11, 888), None);
+            assert_eq!(svc.remove(12), Some(6));
+            let got = svc.get_range(8, 16);
+            assert_eq!(
+                got,
+                vec![(8, 4), (10, 777), (11, 888), (14, 7), (16, 8)],
+                "{}",
+                backend.name()
+            );
+            // Inverted and empty ranges.
+            assert_eq!(svc.get_range(16, 8), Vec::new());
+            assert_eq!(svc.get_range(1_000_000, 2_000_000), Vec::new());
+            let stats = svc.stats();
+            // One admission entry per shard per (non-inverted) call.
+            assert_eq!(stats.range_scans, 2 * 4);
+            assert_eq!(stats.requests, 3 + 2 * 4);
+        }
+    }
+
+    #[test]
+    fn delta_decided_reads_skip_the_engine() {
+        // With a cold cache and a warm delta, repeat reads of written
+        // keys must be answered by the plan stage: delta_hits grows,
+        // engine lookups do not, residual_frac < 1.
+        let store = ShardedStore::build_with(
+            Backend::Sorted,
+            1,
+            &pairs(500),
+            StoreConfig::with_threshold(1 << 20),
+        );
+        let svc = LookupService::start(
+            store,
+            ServeConfig {
+                batch: BatchPolicy {
+                    max_batch: 4,
+                    max_wait: Duration::from_micros(50),
+                },
+                ..ServeConfig::default()
+            },
+        );
+        for k in 0..16u64 {
+            svc.put(k, 9_000 + k);
+        }
+        for k in 0..16u64 {
+            assert_eq!(svc.get(k), Some(9_000 + k));
+        }
+        assert_eq!(svc.get(100), Some(50)); // untouched key: engine
+        let stats = svc.stats();
+        assert_eq!(stats.delta_hits, 16);
+        assert_eq!(stats.engine.lookups, 1);
+        assert!(stats.residual_frac() < 1.0);
+        assert!((stats.residual_frac() - 1.0 / 17.0).abs() < 1e-9);
     }
 
     #[test]

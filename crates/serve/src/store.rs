@@ -1,28 +1,42 @@
 //! [`ShardedStore`]: a writable, hash-partitioned key/value store
-//! whose shards are served by the existing bulk index drivers.
+//! whose shards are served by the [`ShardBackend`] index drivers.
 //!
 //! Each shard is a **Main/Delta pair**, the columnstore resolution of
 //! the read-optimized vs write-optimized tension:
 //!
-//! * the **main** is one of the three immutable index structures the
-//!   workspace drives in bulk through the interleaved engine — a
-//!   **sorted column** (binary-search rank + equality resolve), a
-//!   **CSB+-tree** (Listing 6 traversal coroutines), or a **chained
-//!   hash table** (Section 6 probe coroutines);
+//! * the **main** is an immutable [`ShardBackend`] — a **sorted
+//!   column** ([`isi_search::SortedShard`]), a **CSB+-tree**
+//!   ([`isi_csb::CsbShard`], Listing 6 traversal coroutines), or a
+//!   **chained hash table** ([`isi_hash::HashShard`], Section 6 probe
+//!   coroutines) — probed in bulk through the morsel-parallel
+//!   interleaved engine and scanned in key order;
 //! * the **delta** is a small sorted run of `(key, Option<value>)`
-//!   overrides (`None` = tombstone) consulted *after* the main batch
-//!   resolves, with last-write-wins semantics.
+//!   overrides (`None` = tombstone) with last-write-wins semantics.
 //!
-//! Writes go to the delta; when a shard's delta reaches
-//! [`StoreConfig::merge_threshold`] entries, a **merge** rebuilds that
-//! shard's main from main+delta and publishes `(new main, empty
-//! delta)` through an [`EpochCell`] swap. Readers snapshot one
-//! `Arc<ShardVersion>` per operation, so they always see a *consistent*
-//! main+delta pair: an in-flight dispatch batch keeps reading the
-//! version it started on while a merge publishes the next one, and a
-//! merge can never tear a read (the swap is a single pointer store).
-//! Writers to the *same* shard serialize on a per-shard write lock;
-//! writers never block readers.
+//! **Reads are planned.** A batch is first resolved against the delta
+//! into a [`BatchPlan`](crate::plan::BatchPlan): delta-decided keys
+//! never reach the engine, so the engine always runs a dense batch of
+//! genuinely memory-bound probes (see [`crate::plan`]). Range scans
+//! ([`ShardedStore::scan_range`]) merge-join the backend's ordered
+//! scan with the sorted delta run, overrides winning and tombstones
+//! eliding their keys.
+//!
+//! **Maintenance is decoupled from serving.** Writes go to the delta;
+//! when a shard's delta reaches [`StoreConfig::merge_threshold`]
+//! entries, the writer *enqueues a merge job* and returns — a
+//! per-store **background merger thread** rebuilds that shard's main
+//! (via [`ShardBackend::rebuild`]) and publishes `(new main, residual
+//! delta)` through an [`EpochCell`] swap. While the merge runs the
+//! delta keeps absorbing writes up to the hard
+//! [`StoreConfig::max_delta`] bound; writers to that shard block past
+//! it until the merger catches up. Readers snapshot one
+//! `Arc<ShardVersion>` per operation, so they always see a
+//! *consistent* main+delta pair: an in-flight dispatch batch keeps
+//! reading the version it started on while a merge publishes the next
+//! one, and a merge can never tear a read (the swap is a single
+//! pointer store). [`MergeMode::Foreground`] retains the old inline
+//! behavior (the triggering write performs the rebuild) for A/B
+//! comparison and deterministic tests.
 //!
 //! Shard routing uses the *top* bits of the key's Fibonacci hash. The
 //! hash-table backend buckets on bits 32 and up of the same hash
@@ -31,18 +45,24 @@
 //! 2^(32 − shard_bits); sharing bits with the bucket index would
 //! leave every shard's table using only a fraction of its buckets.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
 use std::time::Instant;
 
+use isi_core::backend::ShardBackend;
 use isi_core::epoch::EpochCell;
-use isi_core::mem::DirectMem;
 use isi_core::par::ParConfig;
 use isi_core::policy::Interleave;
 use isi_core::sched::RunStats;
 use isi_core::stats::LatencyHist;
-use isi_csb::{CsbTree, DirectTreeStore};
-use isi_hash::table::{ChainedHashTable, HashKey};
+use isi_csb::CsbShard;
+use isi_hash::table::HashKey;
+use isi_hash::HashShard;
+use isi_search::SortedShard;
+
+use crate::plan::BatchPlan;
 
 /// Which index structure backs every shard's main of a [`ShardedStore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -52,7 +72,8 @@ pub enum Backend {
     Sorted,
     /// A CSB+-tree per shard; lookups are interleaved tree descents.
     Csb,
-    /// A chained hash table per shard; lookups are interleaved probes.
+    /// A chained hash table per shard; lookups are interleaved probes
+    /// and range scans sort the arena on demand.
     Hash,
 }
 
@@ -73,123 +94,82 @@ impl Backend {
     pub fn from_name(name: &str) -> Option<Self> {
         Self::ALL.into_iter().find(|b| b.name() == name)
     }
+
+    /// Build one shard's main from strictly-sorted, duplicate-free
+    /// pairs. This is the only place the backend choice is matched on;
+    /// everything after construction dispatches through the
+    /// [`ShardBackend`] trait.
+    pub fn build_shard(self, pairs: &[(u64, u64)]) -> Arc<dyn ShardBackend> {
+        match self {
+            Backend::Sorted => Arc::new(SortedShard::build(pairs)),
+            Backend::Csb => Arc::new(CsbShard::build(pairs)),
+            Backend::Hash => Arc::new(HashShard::build(pairs)),
+        }
+    }
+}
+
+/// Where delta-to-main merges run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeMode {
+    /// The default: a threshold-crossing write enqueues a merge job
+    /// for the store's background merger thread and returns
+    /// immediately; the delta keeps absorbing writes up to
+    /// [`StoreConfig::max_delta`] while the merge is in flight.
+    Background,
+    /// The pre-refactor behavior: the threshold-crossing write
+    /// performs the rebuild inline (its latency absorbs the merge).
+    /// Kept for A/B benchmarking and deterministic tests.
+    Foreground,
 }
 
 /// Store tuning knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StoreConfig {
     /// Delta entries (upserts + tombstones) in one shard that trigger
-    /// a merge of that shard. `1` merges on every write (the delta
-    /// never survives a write); large values batch more writes per
-    /// rebuild at the cost of a larger overlay on the read path.
+    /// a merge of that shard. `1` requests a merge on every write;
+    /// large values batch more writes per rebuild at the cost of a
+    /// larger overlay on the read path.
     pub merge_threshold: usize,
+    /// Hard per-shard delta bound in [`MergeMode::Background`]:
+    /// writers to a shard whose delta holds this many entries block
+    /// until the merger drains it. Must be ≥ `merge_threshold`.
+    /// Irrelevant in foreground mode (the delta never outlives the
+    /// triggering write).
+    pub max_delta: usize,
+    /// Where merges run.
+    pub merge_mode: MergeMode,
+}
+
+impl StoreConfig {
+    /// Background merges with the given threshold and a `4×` headroom
+    /// bound (`max_delta = 4 * merge_threshold`).
+    pub fn with_threshold(merge_threshold: usize) -> Self {
+        Self {
+            merge_threshold,
+            max_delta: merge_threshold.saturating_mul(4),
+            merge_mode: MergeMode::Background,
+        }
+    }
+
+    /// This configuration with merges forced inline on the write path.
+    pub fn foreground(mut self) -> Self {
+        self.merge_mode = MergeMode::Foreground;
+        self
+    }
 }
 
 impl Default for StoreConfig {
-    /// Merge a shard after 4096 delta entries.
+    /// Background merges after 4096 delta entries, hard bound 16384.
     fn default() -> Self {
-        Self {
-            merge_threshold: 4096,
-        }
-    }
-}
-
-/// One shard's immutable main index (private: the store picks per
-/// backend).
-enum MainIndex {
-    Sorted { keys: Vec<u64>, vals: Vec<u64> },
-    Csb(CsbTree<u64, u64>),
-    Hash(ChainedHashTable<u64, u64>),
-}
-
-impl MainIndex {
-    /// Build from strictly-sorted, duplicate-free pairs.
-    fn build(backend: Backend, pairs: &[(u64, u64)]) -> Self {
-        debug_assert!(pairs.windows(2).all(|w| w[0].0 < w[1].0));
-        match backend {
-            Backend::Sorted => MainIndex::Sorted {
-                keys: pairs.iter().map(|&(k, _)| k).collect(),
-                vals: pairs.iter().map(|&(_, v)| v).collect(),
-            },
-            Backend::Csb => MainIndex::Csb(CsbTree::from_sorted(pairs)),
-            Backend::Hash => {
-                let mut t = ChainedHashTable::with_capacity(pairs.len());
-                for &(k, v) in pairs {
-                    t.insert(k, v);
-                }
-                MainIndex::Hash(t)
-            }
-        }
-    }
-
-    /// Sequential point lookup.
-    fn get(&self, key: u64) -> Option<u64> {
-        match self {
-            MainIndex::Sorted { keys, vals } => keys.binary_search(&key).ok().map(|i| vals[i]),
-            MainIndex::Csb(tree) => tree.get(&key),
-            MainIndex::Hash(table) => table.get(&key),
-        }
-    }
-
-    /// Every pair, sorted by key (merge input).
-    fn pairs(&self) -> Vec<(u64, u64)> {
-        match self {
-            MainIndex::Sorted { keys, vals } => {
-                keys.iter().copied().zip(vals.iter().copied()).collect()
-            }
-            MainIndex::Csb(tree) => tree.items(),
-            MainIndex::Hash(table) => {
-                let mut out: Vec<(u64, u64)> =
-                    table.entries().iter().map(|e| (e.key, e.val)).collect();
-                out.sort_unstable_by_key(|&(k, _)| k);
-                out
-            }
-        }
-    }
-
-    /// Batch lookup through the morsel-parallel interleaved engine.
-    fn lookup_batch(
-        &self,
-        keys: &[u64],
-        policy: Interleave,
-        par: ParConfig,
-        scratch: &mut Vec<u32>,
-        out: &mut [Option<u64>],
-    ) -> RunStats {
-        let group = policy.group_or_one();
-        match self {
-            MainIndex::Sorted { keys: col, vals } => {
-                // Rank via the interleaved binary-search coroutines,
-                // then resolve rank -> value with one equality check
-                // (the rank position is cache-hot right after the
-                // search touched it).
-                if col.is_empty() {
-                    out.fill(None);
-                    return RunStats::default();
-                }
-                let mem = DirectMem::new(col);
-                scratch.clear();
-                scratch.resize(keys.len(), 0);
-                let stats = isi_search::bulk_rank_coro_par(mem, keys, group, par, scratch);
-                for ((o, &r), &k) in out.iter_mut().zip(scratch.iter()).zip(keys) {
-                    *o = (col[r as usize] == k).then(|| vals[r as usize]);
-                }
-                stats
-            }
-            MainIndex::Csb(tree) => {
-                isi_csb::bulk_lookup_par(DirectTreeStore::new(tree), keys, group, par, out)
-            }
-            MainIndex::Hash(table) => isi_hash::bulk_probe_par(table, keys, group, par, out),
-        }
+        Self::with_threshold(4096)
     }
 }
 
 /// The append-friendly overlay: a sorted run of per-key overrides.
 /// `Some(v)` upserts the key to `v`; `None` is a tombstone. The run is
-/// small (bounded by the merge threshold), so writes clone it — that
-/// keeps every published [`ShardVersion`] immutable, which is what
-/// makes reader snapshots consistent without any read-side locking
-/// order.
+/// small (bounded by `max_delta`), so writes clone it — that keeps
+/// every published [`ShardVersion`] immutable, which is what makes
+/// reader snapshots consistent without any read-side locking order.
 #[derive(Clone, Default)]
 struct Delta {
     entries: Vec<(u64, Option<u64>)>,
@@ -232,31 +212,55 @@ impl Delta {
 /// [`EpochCell`].
 struct ShardVersion {
     /// Shared with successor versions until a merge replaces it.
-    main: Arc<MainIndex>,
+    main: Arc<dyn ShardBackend>,
     delta: Delta,
 }
 
 /// Per-shard write-side state (serialized by the shard's write lock).
 #[derive(Default)]
-struct WriteStats {
+struct WriteState {
+    /// A merge job for this shard is queued or running; gates
+    /// duplicate enqueues.
+    pending: bool,
+}
+
+/// Per-shard merge accounting, behind its **own** mutex so that
+/// monitoring reads ([`ShardedStore::merges`] and friends) never wait
+/// behind a rebuild: a foreground merge holds the shard's write lock
+/// for its whole duration but touches this lock only for the final
+/// counter bump. Lock order where both are held: `write` before
+/// `merge_stats`.
+#[derive(Default)]
+struct MergeStats {
     merges: u64,
+    bg_merges: u64,
     merge_ns: LatencyHist,
 }
 
 struct Shard {
     version: EpochCell<ShardVersion>,
-    /// Serializes writers to this shard and guards the merge counters.
-    write: Mutex<WriteStats>,
+    /// Serializes writers to this shard.
+    write: Mutex<WriteState>,
+    /// Writers blocked on [`StoreConfig::max_delta`] wait here; the
+    /// merger notifies after publishing a drained version.
+    delta_space: Condvar,
+    /// Merge counters (see [`MergeStats`]).
+    merge_stats: Mutex<MergeStats>,
 }
 
-/// A writable key/value store hash-partitioned into power-of-two
-/// shards, each shard a Main/Delta pair servable by the bulk
-/// interleaved drivers (see the [module docs](self)).
-///
-/// Point reads and batch lookups take `&self` and never block behind
-/// writes or merges; `put`/`remove` also take `&self` (interior
-/// mutability) and serialize per shard.
-pub struct ShardedStore {
+/// The background merger's work queue (guarded by `StoreInner::merge_q`).
+#[derive(Default)]
+struct MergeQueue {
+    /// Shard indices with a merge due, in trigger order.
+    queue: VecDeque<usize>,
+    /// The merger popped a job and has not finished it yet.
+    in_flight: bool,
+    /// Set by `Drop`: finish the queue, then exit.
+    shutdown: bool,
+}
+
+/// State shared between the store handle and its merger thread.
+struct StoreInner {
     backend: Backend,
     shard_bits: u32,
     cfg: StoreConfig,
@@ -264,6 +268,50 @@ pub struct ShardedStore {
     /// Live key count (upserts − tombstoned keys), maintained by the
     /// write path.
     live: AtomicUsize,
+    merge_q: Mutex<MergeQueue>,
+    /// Merger waits here for jobs.
+    merge_work: Condvar,
+    /// [`ShardedStore::quiesce`] waits here for the queue to drain.
+    merge_done: Condvar,
+}
+
+/// Reusable scratch for [`ShardedStore::lookup_batch`]: rank space for
+/// the sorted backend, the batch plan's buffers, and the residual
+/// result staging area. Keeping one per dispatcher thread makes the
+/// steady-state dispatch path allocation-free, matching the engine's
+/// frame-slab discipline.
+#[derive(Default)]
+pub struct LookupScratch {
+    ranks: Vec<u32>,
+    plan: BatchPlan,
+    residual_out: Vec<Option<u64>>,
+}
+
+/// What one planned batch did: engine counters for the residual run,
+/// plus how the plan split the batch.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// Merged interleaved-engine counters for the residual probe run
+    /// (`engine.lookups == residual`).
+    pub engine: RunStats,
+    /// Keys the delta decided without touching the engine.
+    pub delta_hits: u64,
+    /// Keys that reached the engine.
+    pub residual: u64,
+}
+
+/// A writable key/value store hash-partitioned into power-of-two
+/// shards, each shard a Main/Delta pair behind a [`ShardBackend`]
+/// (see the [module docs](self)).
+///
+/// Point reads, batch lookups and range scans take `&self` and never
+/// block behind writes or merges; `put`/`remove` also take `&self`
+/// (interior mutability), serialize per shard, and block only at the
+/// [`StoreConfig::max_delta`] bound.
+pub struct ShardedStore {
+    inner: Arc<StoreInner>,
+    /// `Some` in background mode; joined (after a drain) on drop.
+    merger: Option<JoinHandle<()>>,
 }
 
 impl ShardedStore {
@@ -282,8 +330,9 @@ impl ShardedStore {
     /// Build from key/value pairs with explicit tuning knobs.
     ///
     /// # Panics
-    /// Panics if `num_shards` is not a power of two (including 0) or
-    /// if `cfg.merge_threshold` is 0.
+    /// Panics if `num_shards` is not a power of two (including 0), if
+    /// `cfg.merge_threshold` is 0, or if `cfg.max_delta <
+    /// cfg.merge_threshold`.
     pub fn build_with(
         backend: Backend,
         num_shards: usize,
@@ -295,6 +344,12 @@ impl ShardedStore {
             "num_shards must be a power of two, got {num_shards}"
         );
         assert!(cfg.merge_threshold > 0, "merge_threshold must be positive");
+        assert!(
+            cfg.max_delta >= cfg.merge_threshold,
+            "max_delta ({}) must be >= merge_threshold ({})",
+            cfg.max_delta,
+            cfg.merge_threshold
+        );
         let shard_bits = num_shards.trailing_zeros();
         let mut parts: Vec<Vec<(u64, u64)>> = (0..num_shards).map(|_| Vec::new()).collect();
         for &(k, v) in pairs {
@@ -317,40 +372,53 @@ impl ShardedStore {
                 live += dedup.len();
                 Shard {
                     version: EpochCell::new(ShardVersion {
-                        main: Arc::new(MainIndex::build(backend, &dedup)),
+                        main: backend.build_shard(&dedup),
                         delta: Delta::default(),
                     }),
-                    write: Mutex::new(WriteStats::default()),
+                    write: Mutex::new(WriteState::default()),
+                    merge_stats: Mutex::new(MergeStats::default()),
+                    delta_space: Condvar::new(),
                 }
             })
             .collect();
-        Self {
+        let inner = Arc::new(StoreInner {
             backend,
             shard_bits,
             cfg,
             shards,
             live: AtomicUsize::new(live),
-        }
+            merge_q: Mutex::new(MergeQueue::default()),
+            merge_work: Condvar::new(),
+            merge_done: Condvar::new(),
+        });
+        let merger = (cfg.merge_mode == MergeMode::Background).then(|| {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("isi-merger".into())
+                .spawn(move || inner.merger_loop())
+                .expect("spawn merger thread")
+        });
+        Self { inner, merger }
     }
 
     /// The backend every shard's main uses.
     pub fn backend(&self) -> Backend {
-        self.backend
+        self.inner.backend
     }
 
     /// The tuning knobs the store was built with.
     pub fn config(&self) -> StoreConfig {
-        self.cfg
+        self.inner.cfg
     }
 
     /// Number of shards (a power of two).
     pub fn num_shards(&self) -> usize {
-        self.shards.len()
+        self.inner.shards.len()
     }
 
     /// Number of live keys (pairs minus tombstoned keys).
     pub fn len(&self) -> usize {
-        self.live.load(Ordering::Relaxed)
+        self.inner.live.load(Ordering::Relaxed)
     }
 
     /// True if the store holds no live keys.
@@ -361,47 +429,79 @@ impl ShardedStore {
     /// The shard that owns `key`.
     #[inline]
     pub fn shard_of(&self, key: u64) -> usize {
-        shard_route(key, self.shard_bits)
+        shard_route(key, self.inner.shard_bits)
     }
 
     /// Current delta entries across all shards (each `< merge_threshold`
-    /// per shard at rest).
+    /// per shard once [`quiesce`](Self::quiesce)d).
     pub fn delta_len(&self) -> usize {
-        self.shards
+        self.inner
+            .shards
             .iter()
             .map(|s| s.version.load().delta.len())
             .sum()
     }
 
-    /// Merges performed since build, across all shards.
+    /// Merges performed since build, across all shards (both modes).
     pub fn merges(&self) -> u64 {
-        self.shards
+        self.inner
+            .shards
             .iter()
-            .map(|s| s.write.lock().unwrap().merges)
+            .map(|s| s.merge_stats.lock().unwrap().merges)
             .sum()
+    }
+
+    /// Merges performed by the background merger thread (≤
+    /// [`merges`](Self::merges); the difference is foreground-mode
+    /// inline merges).
+    pub fn bg_merges(&self) -> u64 {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.merge_stats.lock().unwrap().bg_merges)
+            .sum()
+    }
+
+    /// Merge jobs queued or in flight right now (a point-in-time
+    /// gauge; 0 once [`quiesce`](Self::quiesce)d).
+    pub fn merge_backlog(&self) -> usize {
+        let q = self.inner.merge_q.lock().unwrap();
+        q.queue.len() + q.in_flight as usize
     }
 
     /// Merge wall-latency histogram (nanoseconds), across all shards.
     pub fn merge_latency(&self) -> LatencyHist {
         let mut hist = LatencyHist::new();
-        for s in &self.shards {
-            hist.merge(&s.write.lock().unwrap().merge_ns);
+        for s in &self.inner.shards {
+            hist.merge(&s.merge_stats.lock().unwrap().merge_ns);
         }
         hist
     }
 
     /// Version-swap count of `shard` (one per write, since every write
-    /// publishes a new version; merges are the swaps that also replace
-    /// the main).
+    /// publishes a new version; background merges add one more swap
+    /// each when they publish the rebuilt main).
     pub fn shard_epoch(&self, shard: usize) -> u64 {
-        self.shards[shard].version.epoch()
+        self.inner.shards[shard].version.epoch()
+    }
+
+    /// Block until every queued merge job (including jobs enqueued by
+    /// merges re-triggering themselves) has been published. Writers
+    /// racing `quiesce` can enqueue more work; this waits for the
+    /// queue observed drain, which is the fixpoint once writers stop.
+    /// Returns immediately in foreground mode.
+    pub fn quiesce(&self) {
+        let mut q = self.inner.merge_q.lock().unwrap();
+        while !q.queue.is_empty() || q.in_flight {
+            q = self.inner.merge_done.wait(q).unwrap();
+        }
     }
 
     /// Sequential point lookup — the oracle the batched path must
     /// agree with. Reads one consistent [`ShardVersion`] snapshot:
     /// delta override first, main otherwise.
     pub fn get(&self, key: u64) -> Option<u64> {
-        let v = self.shards[self.shard_of(key)].version.load();
+        let v = self.inner.shards[self.shard_of(key)].version.load();
         match v.delta.get(key) {
             Some(over) => over,
             None => v.main.get(key),
@@ -409,7 +509,8 @@ impl ShardedStore {
     }
 
     /// Upsert `key = val`; returns the previously visible value
-    /// (last-write-wins). May trigger a merge of the owning shard.
+    /// (last-write-wins). May enqueue (background) or perform
+    /// (foreground) a merge of the owning shard.
     pub fn put(&self, key: u64, val: u64) -> Option<u64> {
         self.write(key, Some(val))
     }
@@ -421,11 +522,25 @@ impl ShardedStore {
     }
 
     /// The shared write path: record the override in the owning
-    /// shard's delta (publishing a new version), merging the shard
-    /// when the delta reaches the threshold.
+    /// shard's delta (publishing a new version). At
+    /// `merge_threshold` the write requests maintenance — a job for
+    /// the background merger, or an inline rebuild in foreground mode.
+    /// In background mode the write blocks only when the shard's delta
+    /// has hit the hard `max_delta` bound.
     fn write(&self, key: u64, val: Option<u64>) -> Option<u64> {
-        let shard = &self.shards[self.shard_of(key)];
+        let inner = &*self.inner;
+        let si = self.shard_of(key);
+        let shard = &inner.shards[si];
         let mut w = shard.write.lock().unwrap();
+        if inner.cfg.merge_mode == MergeMode::Background {
+            // Hard bound: past max_delta this shard's writers wait for
+            // the merger (which never needs this lock to make
+            // progress... it does take it to publish, but we release
+            // it while waiting on the condvar).
+            while shard.version.load().delta.len() >= inner.cfg.max_delta {
+                w = shard.delta_space.wait(w).unwrap();
+            }
+        }
         let cur = shard.version.load();
         let prev = match cur.delta.get(key) {
             Some(over) => over,
@@ -438,54 +553,63 @@ impl ShardedStore {
             return None;
         }
         let delta = cur.delta.with_upsert(key, val);
-        if delta.len() >= self.cfg.merge_threshold {
-            // Merge: rebuild this shard's main from main+delta and
-            // publish (new main, empty delta) in one epoch swap.
-            // Readers holding the old version keep reading it; new
-            // readers see the merged main. The shard write lock is
-            // held throughout, so only same-shard *writers* wait.
-            let t0 = Instant::now();
-            let merged = merge_pairs(&cur.main.pairs(), &delta.entries);
-            let main = Arc::new(MainIndex::build(self.backend, &merged));
-            shard.version.store(Arc::new(ShardVersion {
-                main,
-                delta: Delta::default(),
-            }));
-            w.merges += 1;
-            w.merge_ns.record(t0.elapsed().as_nanos() as u64);
-        } else {
-            shard.version.store(Arc::new(ShardVersion {
-                main: Arc::clone(&cur.main),
-                delta,
-            }));
+        let crossed = delta.len() >= inner.cfg.merge_threshold;
+        match inner.cfg.merge_mode {
+            MergeMode::Background => {
+                shard.version.store(Arc::new(ShardVersion {
+                    main: Arc::clone(&cur.main),
+                    delta,
+                }));
+                if crossed && !w.pending {
+                    w.pending = true;
+                    let mut q = inner.merge_q.lock().unwrap();
+                    q.queue.push_back(si);
+                    inner.merge_work.notify_one();
+                }
+            }
+            MergeMode::Foreground if crossed => {
+                // Inline merge: rebuild this shard's main from
+                // main+delta and publish (new main, empty delta) in
+                // one epoch swap. The shard write lock is held
+                // throughout, so only same-shard *writers* wait.
+                let t0 = Instant::now();
+                let merged = merge_pairs(&cur.main.pairs(), &delta.entries);
+                shard.version.store(Arc::new(ShardVersion {
+                    main: cur.main.rebuild(&merged),
+                    delta: Delta::default(),
+                }));
+                let mut stats = shard.merge_stats.lock().unwrap();
+                stats.merges += 1;
+                stats.merge_ns.record(t0.elapsed().as_nanos() as u64);
+            }
+            MergeMode::Foreground => {
+                shard.version.store(Arc::new(ShardVersion {
+                    main: Arc::clone(&cur.main),
+                    delta,
+                }));
+            }
         }
         match (prev.is_some(), val.is_some()) {
             (false, true) => {
-                self.live.fetch_add(1, Ordering::Relaxed);
+                inner.live.fetch_add(1, Ordering::Relaxed);
             }
             (true, false) => {
-                self.live.fetch_sub(1, Ordering::Relaxed);
+                inner.live.fetch_sub(1, Ordering::Relaxed);
             }
             _ => {}
         }
         prev
     }
 
-    /// Run a batch of lookups that all route to `shard` through the
-    /// morsel-parallel interleaved engine, scattering `out[i]` =
-    /// lookup result of `keys[i]`. Returns the engine's merged
-    /// [`RunStats`].
+    /// Run a batch of lookups that all route to `shard`, scattering
+    /// `out[i]` = lookup result of `keys[i]`.
     ///
-    /// The whole batch reads **one** [`ShardVersion`] snapshot: the
-    /// main resolves through the engine, then the delta overlay
-    /// rewrites the overridden slots. A merge publishing mid-batch
-    /// cannot produce torn results — this batch finishes on the
-    /// version it started with.
-    ///
-    /// `scratch` is caller-owned rank scratch space (used by the
-    /// sorted backend); reusing one vector across calls keeps the
-    /// steady-state dispatch path allocation-free, matching the
-    /// engine's frame-slab discipline.
+    /// The whole batch reads **one** [`ShardVersion`] snapshot and is
+    /// **planned** first (see [`crate::plan`]): keys the delta decides
+    /// are answered from the sorted run, and only the residual reaches
+    /// the morsel-parallel interleaved engine. A merge publishing
+    /// mid-batch cannot produce torn results — this batch finishes on
+    /// the version it started with.
     ///
     /// # Panics
     /// Panics if `out.len() != keys.len()` or if some key does not
@@ -496,24 +620,189 @@ impl ShardedStore {
         keys: &[u64],
         policy: Interleave,
         par: ParConfig,
-        scratch: &mut Vec<u32>,
+        scratch: &mut LookupScratch,
         out: &mut [Option<u64>],
-    ) -> RunStats {
+    ) -> BatchOutcome {
         assert_eq!(keys.len(), out.len(), "output length mismatch");
         debug_assert!(
             keys.iter().all(|&k| self.shard_of(k) == shard),
             "batch contains keys routed to another shard"
         );
-        let v = self.shards[shard].version.load();
-        let stats = v.main.lookup_batch(keys, policy, par, scratch, out);
-        if !v.delta.is_empty() {
-            for (o, &k) in out.iter_mut().zip(keys) {
-                if let Some(over) = v.delta.get(k) {
-                    *o = over;
-                }
-            }
+        let v = self.inner.shards[shard].version.load();
+        if v.delta.is_empty() {
+            // Every key is residual: probe straight into `out` without
+            // a scatter pass.
+            let engine = v
+                .main
+                .probe_batch(keys, policy, par, &mut scratch.ranks, out);
+            return BatchOutcome {
+                engine,
+                delta_hits: 0,
+                residual: keys.len() as u64,
+            };
         }
-        stats
+        scratch.plan.resolve(&v.delta.entries, keys);
+        for &(i, res) in &scratch.plan.decided {
+            out[i as usize] = res;
+        }
+        let residual = scratch.plan.residual();
+        let engine = if residual == 0 {
+            RunStats::default()
+        } else {
+            scratch.residual_out.clear();
+            scratch.residual_out.resize(residual as usize, None);
+            let engine = v.main.probe_batch(
+                &scratch.plan.residual_keys,
+                policy,
+                par,
+                &mut scratch.ranks,
+                &mut scratch.residual_out,
+            );
+            for (&i, &r) in scratch
+                .plan
+                .residual_idx
+                .iter()
+                .zip(scratch.residual_out.iter())
+            {
+                out[i as usize] = r;
+            }
+            engine
+        };
+        BatchOutcome {
+            engine,
+            delta_hits: scratch.plan.delta_hits(),
+            residual,
+        }
+    }
+
+    /// All live pairs of `shard` with `lo <= key <= hi`, in ascending
+    /// key order: the backend's ordered scan merge-joined with the
+    /// sorted delta run (overrides win, tombstones elide their keys).
+    /// Reads one consistent [`ShardVersion`] snapshot; an inverted
+    /// range returns nothing.
+    pub fn scan_range(&self, shard: usize, lo: u64, hi: u64) -> Vec<(u64, u64)> {
+        if lo > hi {
+            return Vec::new();
+        }
+        let v = self.inner.shards[shard].version.load();
+        let mut main = Vec::new();
+        v.main.scan_range(lo, hi, &mut main);
+        if v.delta.is_empty() {
+            return main;
+        }
+        let d = &v.delta.entries;
+        let a = d.partition_point(|e| e.0 < lo);
+        let b = d.partition_point(|e| e.0 <= hi);
+        merge_pairs(&main, &d[a..b])
+    }
+
+    /// All live pairs with `lo <= key <= hi` across every shard, in
+    /// ascending key order. Each shard contributes one consistent
+    /// snapshot; the cross-shard cut is not atomic (same contract as
+    /// issuing one `get` per shard).
+    pub fn get_range(&self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        for shard in 0..self.num_shards() {
+            out.extend(self.scan_range(shard, lo, hi));
+        }
+        // Hash partitioning interleaves shard key sets arbitrarily, so
+        // the per-shard sorted runs need one global reorder.
+        out.sort_unstable_by_key(|&(k, _)| k);
+        out
+    }
+}
+
+impl Drop for ShardedStore {
+    fn drop(&mut self) {
+        if let Some(handle) = self.merger.take() {
+            {
+                let mut q = self.inner.merge_q.lock().unwrap();
+                q.shutdown = true;
+                self.inner.merge_work.notify_all();
+            }
+            handle.join().expect("merger thread panicked");
+        }
+    }
+}
+
+impl StoreInner {
+    /// The background merger: drain merge jobs until shutdown (then
+    /// finish what is queued and exit).
+    fn merger_loop(&self) {
+        loop {
+            let si = {
+                let mut q = self.merge_q.lock().unwrap();
+                loop {
+                    if let Some(si) = q.queue.pop_front() {
+                        q.in_flight = true;
+                        break si;
+                    }
+                    if q.shutdown {
+                        return;
+                    }
+                    q = self.merge_work.wait(q).unwrap();
+                }
+            };
+            self.merge_shard(si);
+            let mut q = self.merge_q.lock().unwrap();
+            q.in_flight = false;
+            self.merge_done.notify_all();
+        }
+    }
+
+    /// Merge one shard: rebuild its main from a snapshot, then publish
+    /// `(new main, residual delta)` — the writes that landed during
+    /// the rebuild survive as the residual.
+    fn merge_shard(&self, si: usize) {
+        let shard = &self.shards[si];
+        let t0 = Instant::now();
+        // Snapshot outside the write lock: the rebuild is the long
+        // part, and writers must keep landing in the delta meanwhile.
+        let v0 = shard.version.load();
+        if v0.delta.is_empty() {
+            let mut w = shard.write.lock().unwrap();
+            w.pending = false;
+            shard.delta_space.notify_all();
+            return;
+        }
+        let merged = merge_pairs(&v0.main.pairs(), &v0.delta.entries);
+        let main = v0.main.rebuild(&merged);
+        let mut w = shard.write.lock().unwrap();
+        let cur = shard.version.load();
+        // An entry of the current delta is already reflected in the
+        // new main iff the snapshot delta recorded exactly the same
+        // override (deltas only accumulate: cur.delta ⊇ v0.delta,
+        // with per-key values at least as new). Everything else —
+        // writes that landed or changed during the rebuild — survives
+        // as the residual delta.
+        let residual: Vec<(u64, Option<u64>)> = cur
+            .delta
+            .entries
+            .iter()
+            .copied()
+            .filter(|&(k, val)| v0.delta.get(k) != Some(val))
+            .collect();
+        let rekick = residual.len() >= self.cfg.merge_threshold;
+        shard.version.store(Arc::new(ShardVersion {
+            main,
+            delta: Delta { entries: residual },
+        }));
+        {
+            let mut stats = shard.merge_stats.lock().unwrap();
+            stats.merges += 1;
+            stats.bg_merges += 1;
+            stats.merge_ns.record(t0.elapsed().as_nanos() as u64);
+        }
+        if rekick {
+            // Still over threshold (writers were busy): merge again.
+            // `pending` stays true to keep gating duplicate enqueues.
+            let mut q = self.merge_q.lock().unwrap();
+            q.queue.push_back(si);
+            self.merge_work.notify_one();
+        } else {
+            w.pending = false;
+        }
+        shard.delta_space.notify_all();
     }
 }
 
@@ -562,10 +851,21 @@ fn shard_route(key: u64, bits: u32) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashMap;
+    use std::collections::{BTreeMap, HashMap};
 
     fn pairs(n: u64) -> Vec<(u64, u64)> {
         (0..n).map(|i| (i * 3, i + 1000)).collect()
+    }
+
+    /// Both merge modes, for tests whose invariants hold in each.
+    const MODES: [MergeMode; 2] = [MergeMode::Background, MergeMode::Foreground];
+
+    fn cfg(threshold: usize, mode: MergeMode) -> StoreConfig {
+        let base = StoreConfig::with_threshold(threshold);
+        match mode {
+            MergeMode::Background => base,
+            MergeMode::Foreground => base.foreground(),
+        }
     }
 
     #[test]
@@ -617,11 +917,11 @@ mod tests {
                 for &p in &probes {
                     batches[store.shard_of(p)].push(p);
                 }
-                let mut scratch = Vec::new();
+                let mut scratch = LookupScratch::default();
                 for (s, batch) in batches.iter().enumerate() {
                     let mut out = vec![None; batch.len()];
                     for policy in [Interleave::Sequential, Interleave::Interleaved(6)] {
-                        let stats = store.lookup_batch(
+                        let outcome = store.lookup_batch(
                             s,
                             batch,
                             policy,
@@ -629,12 +929,53 @@ mod tests {
                             &mut scratch,
                             &mut out,
                         );
-                        assert_eq!(stats.lookups, batch.len() as u64);
+                        // Read-only store: nothing is delta-decided.
+                        assert_eq!(outcome.engine.lookups, batch.len() as u64);
+                        assert_eq!(outcome.delta_hits, 0);
+                        assert_eq!(outcome.residual, batch.len() as u64);
                         for (k, r) in batch.iter().zip(&out) {
                             assert_eq!(*r, store.get(*k), "{}/{shards}", backend.name());
                         }
                     }
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_batch_skips_delta_decided_keys() {
+        for backend in Backend::ALL {
+            let store = ShardedStore::build_with(
+                backend,
+                1,
+                &pairs(500),
+                StoreConfig::with_threshold(1 << 20),
+            );
+            // Override / tombstone a slice of the probe space; these
+            // keys must be answered by the plan, not the engine.
+            for k in 0..40u64 {
+                if k % 4 == 0 {
+                    store.remove(k * 3);
+                } else {
+                    store.put(k * 3, 7_000 + k);
+                }
+            }
+            let probes: Vec<u64> = (0..200u64).map(|i| i * 3).collect();
+            let mut out = vec![None; probes.len()];
+            let mut scratch = LookupScratch::default();
+            let outcome = store.lookup_batch(
+                0,
+                &probes,
+                Interleave::Interleaved(6),
+                ParConfig::with_threads(1),
+                &mut scratch,
+                &mut out,
+            );
+            assert_eq!(outcome.delta_hits, 40, "{}", backend.name());
+            assert_eq!(outcome.residual, 160);
+            assert_eq!(outcome.engine.lookups, 160);
+            for (&k, &r) in probes.iter().zip(&out) {
+                assert_eq!(r, store.get(k), "{} key={k}", backend.name());
             }
         }
     }
@@ -651,7 +992,7 @@ mod tests {
                 .filter(|&k| store.shard_of(k) == 0)
                 .take(2)
                 .collect();
-            let mut scratch = Vec::new();
+            let mut scratch = LookupScratch::default();
             store.lookup_batch(
                 0,
                 &ks,
@@ -661,7 +1002,7 @@ mod tests {
                 &mut out,
             );
             assert_eq!(out, [None, None]);
-            let stats = store.lookup_batch(
+            let outcome = store.lookup_batch(
                 1,
                 &[],
                 Interleave::Sequential,
@@ -669,7 +1010,8 @@ mod tests {
                 &mut scratch,
                 &mut out[..0],
             );
-            assert_eq!(stats, RunStats::default());
+            assert_eq!(outcome.engine, RunStats::default());
+            assert_eq!(store.get_range(0, u64::MAX), Vec::new());
         }
     }
 
@@ -690,7 +1032,22 @@ mod tests {
     #[test]
     #[should_panic(expected = "merge_threshold must be positive")]
     fn rejects_zero_merge_threshold() {
-        ShardedStore::build_with(Backend::Sorted, 1, &[], StoreConfig { merge_threshold: 0 });
+        ShardedStore::build_with(Backend::Sorted, 1, &[], StoreConfig::with_threshold(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "max_delta")]
+    fn rejects_max_delta_below_threshold() {
+        ShardedStore::build_with(
+            Backend::Sorted,
+            1,
+            &[],
+            StoreConfig {
+                merge_threshold: 8,
+                max_delta: 4,
+                merge_mode: MergeMode::Background,
+            },
+        );
     }
 
     #[test]
@@ -709,48 +1066,63 @@ mod tests {
     }
 
     #[test]
-    fn put_remove_agree_with_oracle_across_thresholds() {
+    fn put_remove_agree_with_oracle_across_thresholds_and_modes() {
         // A deterministic mixed schedule over a small key space,
-        // checked op-by-op against a HashMap, across all backends and
-        // merge thresholds including merge-every-write.
+        // checked op-by-op against a HashMap, across all backends,
+        // merge thresholds (including merge-every-write) and both
+        // merge modes. Visible state never depends on merge timing.
         for backend in Backend::ALL {
             for threshold in [1usize, 4, 1 << 20] {
-                let store = ShardedStore::build_with(
-                    backend,
-                    2,
-                    &pairs(300),
-                    StoreConfig {
-                        merge_threshold: threshold,
-                    },
-                );
-                let mut oracle: HashMap<u64, u64> = pairs(300).into_iter().collect();
-                for i in 0..1200u64 {
-                    let key = i * 17 % 1000;
-                    let tag = format!("{}/t{threshold} i={i}", backend.name());
-                    match i % 5 {
-                        0 | 1 => {
-                            assert_eq!(store.put(key, i), oracle.insert(key, i), "{tag}");
+                for mode in MODES {
+                    let store =
+                        ShardedStore::build_with(backend, 2, &pairs(300), cfg(threshold, mode));
+                    let mut oracle: HashMap<u64, u64> = pairs(300).into_iter().collect();
+                    for i in 0..1200u64 {
+                        let key = i * 17 % 1000;
+                        let tag = format!("{}/t{threshold}/{mode:?} i={i}", backend.name());
+                        match i % 5 {
+                            0 | 1 => {
+                                assert_eq!(store.put(key, i), oracle.insert(key, i), "{tag}");
+                            }
+                            2 => {
+                                assert_eq!(store.remove(key), oracle.remove(&key), "{tag}");
+                            }
+                            _ => {
+                                assert_eq!(store.get(key), oracle.get(&key).copied(), "{tag}");
+                            }
                         }
-                        2 => {
-                            assert_eq!(store.remove(key), oracle.remove(&key), "{tag}");
-                        }
-                        _ => {
-                            assert_eq!(store.get(key), oracle.get(&key).copied(), "{tag}");
-                        }
+                        assert_eq!(store.len(), oracle.len(), "{tag}");
                     }
-                    assert_eq!(store.len(), oracle.len(), "{tag}");
-                }
-                // At rest every shard's delta is below the threshold.
-                assert!(store.delta_len() < threshold.max(1) * store.num_shards());
-                if threshold == 1 {
-                    // Merge-every-write: the delta never survives.
-                    assert_eq!(store.delta_len(), 0);
-                    assert!(store.merges() >= 480, "merges={}", store.merges());
-                    assert_eq!(store.merge_latency().count(), store.merges());
-                }
-                // Full scan agreement after the schedule.
-                for probe in 0..1000u64 {
-                    assert_eq!(store.get(probe), oracle.get(&probe).copied());
+                    // Once quiesced, every shard's residual delta is
+                    // below the threshold.
+                    store.quiesce();
+                    assert!(store.delta_len() < threshold.max(1) * store.num_shards());
+                    if threshold == 1 {
+                        // Merge-every-write: the drained delta is
+                        // empty. Foreground merges synchronously, so
+                        // every effective write merged; background
+                        // merges coalesce but must have run.
+                        assert_eq!(store.delta_len(), 0);
+                        match mode {
+                            MergeMode::Foreground => {
+                                assert!(store.merges() >= 480, "merges={}", store.merges());
+                                assert_eq!(store.bg_merges(), 0);
+                            }
+                            MergeMode::Background => {
+                                assert!(store.merges() >= 1);
+                                assert_eq!(store.bg_merges(), store.merges());
+                            }
+                        }
+                        assert_eq!(store.merge_latency().count(), store.merges());
+                        assert_eq!(store.merge_backlog(), 0);
+                    }
+                    // Full scan agreement after the schedule.
+                    for probe in 0..1000u64 {
+                        assert_eq!(store.get(probe), oracle.get(&probe).copied());
+                    }
+                    let mut want: Vec<(u64, u64)> = oracle.iter().map(|(&k, &v)| (k, v)).collect();
+                    want.sort_unstable();
+                    assert_eq!(store.get_range(0, u64::MAX), want);
                 }
             }
         }
@@ -759,14 +1131,8 @@ mod tests {
     #[test]
     fn batch_lookups_see_writes_and_tombstones() {
         for backend in Backend::ALL {
-            let store = ShardedStore::build_with(
-                backend,
-                2,
-                &pairs(500),
-                StoreConfig {
-                    merge_threshold: 64,
-                },
-            );
+            let store =
+                ShardedStore::build_with(backend, 2, &pairs(500), StoreConfig::with_threshold(64));
             store.put(0, 999); // overwrite
             store.put(7, 123); // fresh key (7 % 3 != 0)
             store.remove(3); // tombstone an existing key
@@ -775,10 +1141,11 @@ mod tests {
             for &p in &probes {
                 batches[store.shard_of(p)].push(p);
             }
-            let mut scratch = Vec::new();
+            let mut scratch = LookupScratch::default();
+            let mut delta_hits = 0;
             for (s, batch) in batches.iter().enumerate() {
                 let mut out = vec![None; batch.len()];
-                store.lookup_batch(
+                let outcome = store.lookup_batch(
                     s,
                     batch,
                     Interleave::Interleaved(6),
@@ -786,10 +1153,14 @@ mod tests {
                     &mut scratch,
                     &mut out,
                 );
+                delta_hits += outcome.delta_hits;
                 for (&k, &r) in batch.iter().zip(&out) {
                     assert_eq!(r, store.get(k), "{} key={k}", backend.name());
                 }
             }
+            // The three written keys are each probed exactly once and
+            // decided by the plan, not the engine.
+            assert_eq!(delta_hits, 3, "{}", backend.name());
             assert_eq!(store.get(0), Some(999));
             assert_eq!(store.get(7), Some(123));
             assert_eq!(store.get(3), None);
@@ -797,24 +1168,142 @@ mod tests {
     }
 
     #[test]
-    fn merges_swap_epochs_and_drain_the_delta() {
+    fn scan_range_merges_delta_and_elides_tombstones() {
+        for backend in Backend::ALL {
+            for shards in [1usize, 4] {
+                let store = ShardedStore::build_with(
+                    backend,
+                    shards,
+                    &pairs(400),
+                    StoreConfig::with_threshold(1 << 20),
+                );
+                let mut oracle: BTreeMap<u64, u64> = pairs(400).into_iter().collect();
+                // Overrides, fresh keys and tombstones, delta-resident.
+                for k in 0..120u64 {
+                    match k % 3 {
+                        0 => {
+                            store.put(k * 2, 50_000 + k);
+                            oracle.insert(k * 2, 50_000 + k);
+                        }
+                        1 => {
+                            store.remove(k * 3);
+                            oracle.remove(&(k * 3));
+                        }
+                        _ => {
+                            store.put(100_000 + k, k);
+                            oracle.insert(100_000 + k, k);
+                        }
+                    }
+                }
+                for (lo, hi) in [
+                    (0u64, 0u64),
+                    (0, 100),
+                    (37, 613),
+                    (99_990, 100_200),
+                    (0, u64::MAX),
+                    (500, 400),
+                ] {
+                    let want: Vec<(u64, u64)> = oracle
+                        .range(lo..=hi.max(lo))
+                        .map(|(&k, &v)| (k, v))
+                        .collect();
+                    let want = if lo > hi { Vec::new() } else { want };
+                    assert_eq!(
+                        store.get_range(lo, hi),
+                        want,
+                        "{}/{shards} [{lo}, {hi}]",
+                        backend.name()
+                    );
+                }
+                // Per-shard scans partition the global range.
+                let mut union: Vec<(u64, u64)> = (0..shards)
+                    .flat_map(|s| store.scan_range(s, 0, u64::MAX))
+                    .collect();
+                union.sort_unstable();
+                let want: Vec<(u64, u64)> = oracle.iter().map(|(&k, &v)| (k, v)).collect();
+                assert_eq!(union, want);
+            }
+        }
+    }
+
+    #[test]
+    fn foreground_merges_swap_epochs_and_drain_the_delta() {
+        // Foreground mode keeps the old deterministic accounting:
+        // every write swaps the version, every 8th write merges
+        // inline.
         let store = ShardedStore::build_with(
             Backend::Csb,
             1,
             &pairs(100),
-            StoreConfig { merge_threshold: 8 },
+            StoreConfig::with_threshold(8).foreground(),
         );
         assert_eq!(store.shard_epoch(0), 0);
         for i in 0..64u64 {
             store.put(10_000 + i, i);
         }
-        // Every write swaps the version; every 8th write merged.
         assert_eq!(store.shard_epoch(0), 64);
         assert_eq!(store.merges(), 8);
+        assert_eq!(store.bg_merges(), 0);
         assert_eq!(store.delta_len(), 0);
         assert_eq!(store.len(), 164);
         for i in 0..64u64 {
             assert_eq!(store.get(10_000 + i), Some(i));
+        }
+    }
+
+    #[test]
+    fn background_merges_run_off_the_write_path_and_drain() {
+        let store =
+            ShardedStore::build_with(Backend::Csb, 1, &pairs(100), StoreConfig::with_threshold(8));
+        for i in 0..64u64 {
+            store.put(10_000 + i, i);
+        }
+        store.quiesce();
+        // Coalescing makes the exact count timing-dependent, but the
+        // merger must have run, drained the delta below the threshold,
+        // and left every write visible.
+        assert!(store.merges() >= 1);
+        assert_eq!(store.bg_merges(), store.merges());
+        assert!(store.delta_len() < 8, "delta={}", store.delta_len());
+        assert_eq!(store.merge_backlog(), 0);
+        assert_eq!(store.len(), 164);
+        for i in 0..64u64 {
+            assert_eq!(store.get(10_000 + i), Some(i));
+        }
+    }
+
+    #[test]
+    fn writers_block_at_max_delta_but_make_progress() {
+        // Tiny threshold and hard bound: concurrent writers must hit
+        // the max_delta wall constantly and still complete with the
+        // right final state (the merger keeps draining under them).
+        let store = ShardedStore::build_with(
+            Backend::Sorted,
+            1,
+            &pairs(50),
+            StoreConfig {
+                merge_threshold: 2,
+                max_delta: 4,
+                merge_mode: MergeMode::Background,
+            },
+        );
+        std::thread::scope(|scope| {
+            for t in 0..2u64 {
+                let store = &store;
+                scope.spawn(move || {
+                    for i in 0..150u64 {
+                        store.put(20_000 + t * 1000 + i, i);
+                    }
+                });
+            }
+        });
+        store.quiesce();
+        assert!(store.delta_len() < 2);
+        assert_eq!(store.len(), 350);
+        for t in 0..2u64 {
+            for i in 0..150u64 {
+                assert_eq!(store.get(20_000 + t * 1000 + i), Some(i));
+            }
         }
     }
 
@@ -824,48 +1313,89 @@ mod tests {
         // readers hammer point gets and batch lookups. Reads must be
         // monotone for the hot key (versions publish in order) and
         // rock-stable for an untouched key — across merges, never torn.
+        // Background mode adds the merger thread as a second publisher
+        // racing the writer.
         const N: u64 = 300;
         for backend in Backend::ALL {
-            let store = ShardedStore::build_with(
-                backend,
-                1,
-                &[(2, 1_000_000), (4, 42)],
-                StoreConfig { merge_threshold: 1 },
-            );
-            std::thread::scope(|scope| {
-                let writer = scope.spawn(|| {
-                    for v in 1_000_001..=1_000_000 + N {
-                        store.put(2, v);
-                    }
-                });
-                for _ in 0..2 {
-                    scope.spawn(|| {
-                        let mut scratch = Vec::new();
-                        let mut out = [None, None];
-                        let mut last = 1_000_000u64;
-                        while last < 1_000_000 + N {
-                            let got = store.get(2).expect("hot key must always exist");
-                            assert!(got >= last, "hot key went backwards: {got} < {last}");
-                            last = got;
-                            store.lookup_batch(
-                                0,
-                                &[2, 4],
-                                Interleave::Interleaved(4),
-                                ParConfig::with_threads(1),
-                                &mut scratch,
-                                &mut out,
-                            );
-                            let batch_hot = out[0].expect("hot key must always exist");
-                            assert!(batch_hot >= last, "batch read went backwards");
-                            assert_eq!(out[1], Some(42), "cold key must never move");
-                            last = last.max(batch_hot);
+            for mode in MODES {
+                let store =
+                    ShardedStore::build_with(backend, 1, &[(2, 1_000_000), (4, 42)], cfg(1, mode));
+                std::thread::scope(|scope| {
+                    let writer = scope.spawn(|| {
+                        for v in 1_000_001..=1_000_000 + N {
+                            store.put(2, v);
                         }
                     });
+                    for _ in 0..2 {
+                        scope.spawn(|| {
+                            let mut scratch = LookupScratch::default();
+                            let mut out = [None, None];
+                            let mut last = 1_000_000u64;
+                            while last < 1_000_000 + N {
+                                let got = store.get(2).expect("hot key must always exist");
+                                assert!(got >= last, "hot key went backwards: {got} < {last}");
+                                last = got;
+                                store.lookup_batch(
+                                    0,
+                                    &[2, 4],
+                                    Interleave::Interleaved(4),
+                                    ParConfig::with_threads(1),
+                                    &mut scratch,
+                                    &mut out,
+                                );
+                                let batch_hot = out[0].expect("hot key must always exist");
+                                assert!(batch_hot >= last, "batch read went backwards");
+                                assert_eq!(out[1], Some(42), "cold key must never move");
+                                last = last.max(batch_hot);
+                            }
+                        });
+                    }
+                    writer.join().unwrap();
+                });
+                store.quiesce();
+                assert_eq!(store.get(2), Some(1_000_000 + N));
+                match mode {
+                    MergeMode::Foreground => {
+                        assert_eq!(store.merges(), N, "{}", backend.name());
+                    }
+                    MergeMode::Background => {
+                        assert!(store.merges() >= 1, "{}", backend.name());
+                        assert_eq!(store.delta_len(), 0);
+                    }
                 }
-                writer.join().unwrap();
-            });
-            assert_eq!(store.get(2), Some(1_000_000 + N));
-            assert_eq!(store.merges(), N, "{}", backend.name());
+            }
         }
+    }
+
+    #[test]
+    fn scans_race_background_merges_without_tearing() {
+        // A writer churns keys ≥ 10_000 through constant background
+        // merges; scans over the untouched region must return exactly
+        // the static pairs every time, and full-range scans must stay
+        // sorted and duplicate-free (one consistent snapshot per
+        // shard).
+        let base = pairs(200); // keys 0..600
+        let store =
+            ShardedStore::build_with(Backend::Sorted, 2, &base, StoreConfig::with_threshold(1));
+        let want_static: Vec<(u64, u64)> = base.clone();
+        let done = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                for i in 0..300u64 {
+                    store.put(10_000 + (i % 40), i);
+                }
+                done.store(1, Ordering::Release);
+            });
+            scope.spawn(|| {
+                while done.load(Ordering::Acquire) == 0 {
+                    assert_eq!(store.get_range(0, 599), want_static);
+                    let all = store.get_range(0, u64::MAX);
+                    assert!(all.windows(2).all(|w| w[0].0 < w[1].0), "unsorted or dup");
+                }
+            });
+        });
+        store.quiesce();
+        let all = store.get_range(0, u64::MAX);
+        assert_eq!(all.len(), 240);
     }
 }

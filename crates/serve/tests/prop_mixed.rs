@@ -82,7 +82,7 @@ proptest! {
                             backend,
                             shards,
                             &pairs,
-                            StoreConfig { merge_threshold: threshold },
+                            StoreConfig::with_threshold(threshold),
                         );
                         let svc = service(store, cache);
                         let mut oracle: HashMap<u64, u64> = pairs.iter().copied().collect();
@@ -126,17 +126,27 @@ proptest! {
                         prop_assert_eq!(svc.get_many(&all), want);
                         prop_assert_eq!(svc.store().len(), oracle.len());
 
+                        // Merges run on the background thread; settle
+                        // before asserting on maintenance state.
+                        svc.store().quiesce();
                         let stats = svc.stats();
-                        // At rest, no shard's delta ever holds a full
-                        // threshold (a merge would have drained it).
+                        // Once quiesced, no shard's residual delta
+                        // holds a full threshold (the merger would
+                        // have been re-kicked).
                         prop_assert!(
                             stats.delta_keys < (threshold * shards) as u64 + 1
                         );
+                        prop_assert_eq!(stats.merge_backlog, 0);
                         if threshold == 1 {
-                            // Merge-every-write: the delta never
-                            // survives a write, and every put merged.
+                            // Merge-every-write: the drained delta is
+                            // empty; background merges coalesce, so
+                            // "some merge ran" is the strongest count
+                            // claim that survives timing.
                             prop_assert_eq!(stats.delta_keys, 0);
-                            prop_assert!(stats.merges >= puts);
+                            if puts > 0 {
+                                prop_assert!(stats.merges >= 1);
+                            }
+                            prop_assert_eq!(stats.bg_merges, stats.merges);
                         }
                         prop_assert_eq!(stats.merge_latency.count(), stats.merges);
                     }
@@ -157,7 +167,7 @@ proptest! {
                     backend,
                     shards,
                     &pairs,
-                    StoreConfig { merge_threshold: 2 },
+                    StoreConfig::with_threshold(2),
                 );
                 let svc = service(store, 16);
                 // Client c owns exactly the keys ≡ c (mod CLIENTS);
