@@ -27,6 +27,7 @@
 
 pub mod json;
 pub mod loc;
+pub mod schema;
 pub mod serve;
 pub mod sim;
 pub mod throughput;

@@ -38,8 +38,9 @@ use isi_workloads::uniform_indices;
 
 use crate::json::{self, num, obj, str, Json};
 
-/// Schema tag written into (and required from) every result document.
-pub const SCHEMA: &str = "isi-serve/v1";
+/// Schema tag written into (and required from) every result document
+/// (defined in the [`crate::schema`] registry).
+pub use crate::schema::SERVE as SCHEMA;
 
 /// The two load modes, in sweep order.
 pub const MODES: [&str; 2] = ["closed", "open"];
@@ -487,8 +488,9 @@ pub fn verify_text(text: &str) -> Result<(), String> {
 // Mixed read/write sweep
 // ---------------------------------------------------------------------------
 
-/// Schema tag of the mixed read/write sweep document.
-pub const MIXED_SCHEMA: &str = "isi-serve-mixed/v2";
+/// Schema tag of the mixed read/write sweep document (defined in the
+/// [`crate::schema`] registry).
+pub use crate::schema::SERVE_MIXED as MIXED_SCHEMA;
 
 /// The default write fractions of the mixed sweep.
 pub const WRITE_FRACTIONS: [f64; 4] = [0.0, 0.01, 0.10, 0.50];

@@ -1,0 +1,86 @@
+//! Model of the hot-key cache write-invalidation protocol in
+//! `isi_serve::service`.
+//!
+//! The serving layer answers repeated hot-key lookups from a small
+//! cache in front of the authoritative shard state. On a write, the
+//! writer must **invalidate the cached entry before acknowledging**
+//! the write to the client; otherwise there is a window where the
+//! client has been told "your write is durable" but a lookup still
+//! returns the pre-write value from the cache — a
+//! read-your-own-writes violation.
+//!
+//! [`invalidate_before_ack`] models the protocol the serve path
+//! implements (invalidate, *then* ack): across every interleaving, a
+//! client that has observed the ack never reads the stale cached
+//! value. [`ack_before_invalidate`] flips the two steps and is
+//! expected to violate — the test suite asserts the explorer finds
+//! the stale read and that its seed replays.
+
+use std::sync::Arc;
+
+use crate::sync::atomic::AtomicBool;
+use crate::sync::{Mutex, Ordering};
+use crate::vt;
+
+struct State {
+    /// Authoritative value for the hot key.
+    store: Mutex<u64>,
+    /// Cached value (`None` = miss; filled from `store` on lookup).
+    cache: Mutex<Option<u64>>,
+    /// The client-visible write acknowledgement.
+    acked: AtomicBool,
+}
+
+/// Shared body: writer updates the store and performs
+/// invalidate/ack in the given order; the client, once it sees the
+/// ack, must read its own write (2), never the stale cached 1.
+fn cache_model(invalidate_first: bool) {
+    let st = Arc::new(State {
+        store: Mutex::new(1),
+        // Pre-warmed with the old value: the dangerous starting point.
+        cache: Mutex::new(Some(1)),
+        acked: AtomicBool::new(false),
+    });
+
+    let writer = {
+        let st = Arc::clone(&st);
+        vt::spawn(move || {
+            *st.store.lock() = 2;
+            if invalidate_first {
+                *st.cache.lock() = None;
+                st.acked.store(true, Ordering::SeqCst);
+            } else {
+                st.acked.store(true, Ordering::SeqCst);
+                *st.cache.lock() = None;
+            }
+        })
+    };
+
+    // The client (main virtual thread): a lookup that happens to land
+    // after it observed its write's ack.
+    if st.acked.load(Ordering::SeqCst) {
+        let cached = *st.cache.lock();
+        let v = match cached {
+            Some(v) => v,
+            None => {
+                // Miss: read through and refill, as the dispatcher does.
+                let v = *st.store.lock();
+                *st.cache.lock() = Some(v);
+                v
+            }
+        };
+        assert_eq!(v, 2, "stale read after own-write ack (cache={cached:?})");
+    }
+    writer.join();
+}
+
+/// The implemented protocol: invalidate the cache entry, then ack.
+pub fn invalidate_before_ack() {
+    cache_model(true);
+}
+
+/// The broken ordering (known-bad): ack first, invalidate later —
+/// some interleaving serves the stale cached value after the ack.
+pub fn ack_before_invalidate() {
+    cache_model(false);
+}

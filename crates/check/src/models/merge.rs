@@ -1,0 +1,78 @@
+//! Model of the Main/Delta merge publish in `isi_serve::store`.
+//!
+//! The real merger snapshots the delta under the write lock, rebuilds
+//! the main structure *outside* any lock, then republishes: the new
+//! main is swapped in and the delta is pruned with the **residual
+//! filter** — an entry is dropped only if its current value still
+//! equals the snapshotted value that was folded into the new main.
+//! A write that lands mid-rebuild therefore survives as residual
+//! delta and is never silently absorbed into a main that predates it.
+//!
+//! The model collapses the shard to a single key. Invariant: after
+//! the merger and a concurrent writer (who writes 2 then 3) both
+//! finish, a lookup (delta first, then main) returns the writer's
+//! final value — the merge never loses a write, wherever it lands
+//! relative to snapshot/rebuild/publish.
+
+use std::sync::Arc;
+
+use crate::sync::Mutex;
+use crate::vt;
+
+/// Single-key Main/Delta shard state.
+struct Shard {
+    /// Pending write for the key (`None` = no delta entry).
+    delta: Mutex<Option<u64>>,
+    /// Merged value for the key (0 = never merged).
+    main: Mutex<u64>,
+}
+
+pub fn write_survives_merge() {
+    let shard = Arc::new(Shard {
+        delta: Mutex::new(Some(1)),
+        main: Mutex::new(0),
+    });
+
+    let merger = {
+        let shard = Arc::clone(&shard);
+        vt::spawn(move || {
+            // 1. Snapshot the delta.
+            let snap = *shard.delta.lock();
+            // 2. Rebuild outside the locks (no shared ops — invisible
+            //    to the schedule, as in the real merger).
+            // 3. Republish: swap in the new main, prune only delta
+            //    entries the snapshot actually covered.
+            let mut main = shard.main.lock();
+            if let Some(v) = snap {
+                *main = v;
+            }
+            let mut delta = shard.delta.lock();
+            if *delta == snap {
+                // Unchanged since the snapshot: absorbed into main.
+                *delta = None;
+            }
+            // else: a concurrent write replaced it — keep as residual.
+        })
+    };
+
+    let writer = {
+        let shard = Arc::clone(&shard);
+        vt::spawn(move || {
+            for v in 2..=3u64 {
+                *shard.delta.lock() = Some(v);
+            }
+        })
+    };
+
+    merger.join();
+    writer.join();
+
+    // Lookup: delta shadows main.
+    let delta = *shard.delta.lock();
+    let main = *shard.main.lock();
+    let seen = delta.unwrap_or(main);
+    assert_eq!(
+        seen, 3,
+        "merge lost a write: lookup sees {seen} (delta={delta:?}, main={main})"
+    );
+}

@@ -1,0 +1,27 @@
+//! Executable models of the serve-path concurrency protocols.
+//!
+//! Each model is a small, closed re-statement of one protocol from
+//! `isi_core`/`isi_serve`, built from the [`crate::sync`] shims so the
+//! explorer can enumerate its interleavings, with the protocol's
+//! invariant stated as plain `assert!`s. The models are deliberately
+//! tiny — two or three virtual threads, a handful of operations — so
+//! bounded-exhaustive DFS covers *every* interleaving in well under a
+//! second; what they preserve from the real code is the *order of
+//! lock/publish/notify operations*, which is exactly what the
+//! invariants depend on.
+//!
+//! | model | protocol under test |
+//! |---|---|
+//! | [`epoch`] | `EpochCell` publish: snapshots never torn, epochs monotone |
+//! | [`merge`] | Main/Delta merge publish: a mid-rebuild write survives as residual delta |
+//! | [`cache`] | hot-key cache: invalidate-before-ack ⇒ no stale read after own-write ack |
+//! | [`queue`] | bounded admission queue: no lost wakeup / deadlock at backpressure |
+//!
+//! [`epoch::torn_publish`] is a **known-bad** model kept as a
+//! calibration target: the test suite asserts the explorer *finds*
+//! its violation and that the printed seed replays it.
+
+pub mod cache;
+pub mod epoch;
+pub mod merge;
+pub mod queue;

@@ -127,8 +127,9 @@ impl<'a, T> IndexedMem<T> for DirectMem<'a, T> {
     #[inline(always)]
     fn prefetch(&self, idx: usize) {
         if idx < self.data.len() {
-            // SAFETY-free: `prefetch_read_nta` is safe on any address; we
-            // only compute the address of an in-bounds element here.
+            // SAFETY: `idx < len` was just checked, so `add(idx)` stays
+            // within the slice's allocation; the pointer is only used as
+            // a prefetch hint, never dereferenced.
             prefetch_read_nta(unsafe { self.data.as_ptr().add(idx) });
         }
     }

@@ -24,11 +24,15 @@ pub const CACHE_LINE: usize = 64;
 /// lines are unlikely to be reused.
 #[inline(always)]
 pub fn prefetch_read_nta<T>(ptr: *const T) {
-    #[cfg(target_arch = "x86_64")]
+    // SAFETY: PREFETCHNTA is an architectural hint: it never faults,
+    // never dereferences, and is defined for any address value, so
+    // there is no obligation on `ptr`. (Gated off under Miri, which
+    // does not model the intrinsic.)
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
     unsafe {
         core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_NTA }>(ptr as *const i8);
     }
-    #[cfg(not(target_arch = "x86_64"))]
+    #[cfg(not(all(target_arch = "x86_64", not(miri))))]
     let _ = ptr;
 }
 
@@ -39,11 +43,13 @@ pub fn prefetch_read_nta<T>(ptr: *const T) {
 /// root.
 #[inline(always)]
 pub fn prefetch_read_t0<T>(ptr: *const T) {
-    #[cfg(target_arch = "x86_64")]
+    // SAFETY: PREFETCHT0 is an architectural hint — never faults,
+    // never dereferences; no obligation on `ptr` (Miri-gated as above).
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
     unsafe {
         core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(ptr as *const i8);
     }
-    #[cfg(not(target_arch = "x86_64"))]
+    #[cfg(not(all(target_arch = "x86_64", not(miri))))]
     let _ = ptr;
 }
 
@@ -108,6 +114,8 @@ mod tests {
         let buf = vec![0u8; 512];
         prefetch_object_nta(buf.as_ptr(), 200);
         // Unaligned starts must still reach the final line.
+        // SAFETY: 60 + 8 <= 512, in bounds of `buf`; only used as a
+        // prefetch hint.
         prefetch_object_nta(unsafe { buf.as_ptr().add(60) }, 8);
     }
 

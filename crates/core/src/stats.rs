@@ -12,11 +12,15 @@ use std::time::{Duration, Instant};
 /// Read the processor timestamp counter, or 0 on non-x86-64 targets.
 #[inline]
 pub fn rdtsc() -> u64 {
-    #[cfg(target_arch = "x86_64")]
+    // SAFETY: RDTSC reads the timestamp counter register; it touches
+    // no memory and has no preconditions. (Gated off under Miri, which
+    // does not implement the intrinsic — callers already handle the
+    // 0 = "no TSC" case for non-x86-64 targets.)
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
     unsafe {
         core::arch::x86_64::_rdtsc()
     }
-    #[cfg(not(target_arch = "x86_64"))]
+    #[cfg(not(all(target_arch = "x86_64", not(miri))))]
     {
         0
     }

@@ -1,0 +1,176 @@
+//! Poison-aware lock helpers: the workspace policy for panicking
+//! lock acquisition.
+//!
+//! `Mutex::lock().unwrap()` turns a poisoned lock into an opaque
+//! `PoisonError` panic with no hint of *which* lock was involved or
+//! what protocol it protects. In a system with per-shard dispatcher
+//! threads and a background merger, that turns one panicking thread
+//! into a cascade of inscrutable secondary panics — or worse, a
+//! silently wedged merger waiting on a condvar whose notifier died.
+//!
+//! The policy here is explicit: **propagate a tagged panic**. A
+//! poisoned lock means some thread already panicked while holding it,
+//! so the shared state may be mid-protocol and must not be trusted;
+//! continuing is wrong, and swallowing the poison
+//! (`unwrap_or_else(PoisonError::into_inner)`) would do exactly that.
+//! Instead these helpers re-panic with the caller-supplied context
+//! tag, so the secondary panic names the lock and the protocol it
+//! guards, and the original panic remains the root cause in the
+//! backtrace.
+//!
+//! `xtask lint` enforces that `crates/serve` acquires every lock
+//! through these helpers rather than bare `.lock().unwrap()` — see
+//! `xtask/src/lint.rs`.
+
+use std::sync::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::Duration;
+
+/// Poison-aware [`Mutex`] acquisition (see the [module docs](self)).
+pub trait MutexExt<T> {
+    /// Lock, panicking with `ctx` if the mutex is poisoned.
+    fn plock(&self, ctx: &'static str) -> MutexGuard<'_, T>;
+}
+
+impl<T> MutexExt<T> for Mutex<T> {
+    #[track_caller]
+    fn plock(&self, ctx: &'static str) -> MutexGuard<'_, T> {
+        self.lock()
+            .unwrap_or_else(|_| panic!("{ctx}: mutex poisoned by a panicked thread"))
+    }
+}
+
+/// Poison-aware [`RwLock`] acquisition (see the [module docs](self)).
+pub trait RwLockExt<T> {
+    /// Shared-lock, panicking with `ctx` if the lock is poisoned.
+    fn pread(&self, ctx: &'static str) -> RwLockReadGuard<'_, T>;
+    /// Exclusive-lock, panicking with `ctx` if the lock is poisoned.
+    fn pwrite(&self, ctx: &'static str) -> RwLockWriteGuard<'_, T>;
+}
+
+impl<T> RwLockExt<T> for RwLock<T> {
+    #[track_caller]
+    fn pread(&self, ctx: &'static str) -> RwLockReadGuard<'_, T> {
+        self.read()
+            .unwrap_or_else(|_| panic!("{ctx}: rwlock poisoned by a panicked thread"))
+    }
+
+    #[track_caller]
+    fn pwrite(&self, ctx: &'static str) -> RwLockWriteGuard<'_, T> {
+        self.write()
+            .unwrap_or_else(|_| panic!("{ctx}: rwlock poisoned by a panicked thread"))
+    }
+}
+
+/// Poison-aware [`Condvar`] waits (see the [module docs](self)).
+///
+/// A condvar wait re-acquires the mutex on wakeup, so it can observe
+/// poison exactly like a lock call; the same tagged-panic policy
+/// applies.
+pub trait CondvarExt {
+    /// Wait on `guard`, panicking with `ctx` if the mutex was poisoned
+    /// while parked.
+    fn pwait<'a, T>(&self, guard: MutexGuard<'a, T>, ctx: &'static str) -> MutexGuard<'a, T>;
+
+    /// Wait with a timeout; returns the reacquired guard and whether
+    /// the wait timed out.
+    fn pwait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        dur: Duration,
+        ctx: &'static str,
+    ) -> (MutexGuard<'a, T>, bool);
+}
+
+impl CondvarExt for Condvar {
+    #[track_caller]
+    fn pwait<'a, T>(&self, guard: MutexGuard<'a, T>, ctx: &'static str) -> MutexGuard<'a, T> {
+        self.wait(guard)
+            .unwrap_or_else(|_| panic!("{ctx}: mutex poisoned by a panicked thread"))
+    }
+
+    #[track_caller]
+    fn pwait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        dur: Duration,
+        ctx: &'static str,
+    ) -> (MutexGuard<'a, T>, bool) {
+        let (guard, res) = self
+            .wait_timeout(guard, dur)
+            .unwrap_or_else(|_| panic!("{ctx}: mutex poisoned by a panicked thread"));
+        (guard, res.timed_out())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn helpers_behave_like_plain_locks_when_healthy() {
+        let m = Mutex::new(5);
+        *m.plock("test mutex") += 1;
+        assert_eq!(*m.plock("test mutex"), 6);
+
+        let rw = RwLock::new(7);
+        assert_eq!(*rw.pread("test rwlock"), 7);
+        *rw.pwrite("test rwlock") = 8;
+        assert_eq!(*rw.pread("test rwlock"), 8);
+
+        let cv = Condvar::new();
+        let (guard, timed_out) =
+            cv.pwait_timeout(m.plock("test mutex"), Duration::from_millis(1), "test cv");
+        assert!(timed_out);
+        assert_eq!(*guard, 6);
+    }
+
+    #[test]
+    fn pwait_wakes_on_notify() {
+        let state = Arc::new((Mutex::new(false), Condvar::new()));
+        let other = Arc::clone(&state);
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*other;
+            *m.plock("flag") = true;
+            cv.notify_one();
+        });
+        let (m, cv) = &*state;
+        let mut flag = m.plock("flag");
+        while !*flag {
+            flag = cv.pwait(flag, "flag");
+        }
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn poisoned_mutex_panics_with_the_tag() {
+        let m = Arc::new(Mutex::new(0));
+        let clone = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = clone.plock("victim");
+            panic!("poisoner");
+        })
+        .join();
+        let err = std::panic::catch_unwind(|| m.plock("shard queue")).unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("shard queue"), "panic lost its tag: {msg}");
+        assert!(msg.contains("poisoned"), "panic lost the cause: {msg}");
+    }
+
+    #[test]
+    fn poisoned_rwlock_panics_with_the_tag() {
+        let rw = Arc::new(RwLock::new(0));
+        let clone = Arc::clone(&rw);
+        let _ = std::thread::spawn(move || {
+            let _guard = clone.pwrite("victim");
+            panic!("poisoner");
+        })
+        .join();
+        let err = std::panic::catch_unwind(|| drop(rw.pread("epoch cell"))).unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("epoch cell"), "panic lost its tag: {msg}");
+        let err = std::panic::catch_unwind(|| drop(rw.pwrite("epoch cell"))).unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("epoch cell"), "panic lost its tag: {msg}");
+    }
+}

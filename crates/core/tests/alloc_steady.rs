@@ -9,6 +9,8 @@
 //! morsels) — only per-call setup (thread spawns, the per-worker slab)
 //! may allocate.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
@@ -21,20 +23,28 @@ struct CountingAlloc;
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 static COUNTING: AtomicBool = AtomicBool::new(false);
 
+// SAFETY: pure pass-through to the `System` allocator (which upholds
+// the GlobalAlloc contract); the only addition is a relaxed counter
+// bump, which allocates nothing and cannot unwind.
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         if COUNTING.load(Ordering::Relaxed) {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
         }
+        // SAFETY: same contract as ours; layout is forwarded verbatim.
         unsafe { System.alloc(layout) }
     }
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr`/`layout` came from our `alloc`, which forwarded
+        // to `System`, so returning them to `System` is well-paired.
         unsafe { System.dealloc(ptr, layout) }
     }
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         if COUNTING.load(Ordering::Relaxed) {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
         }
+        // SAFETY: `ptr`/`layout` came from our pass-through `alloc`;
+        // the caller guarantees `new_size` per the trait contract.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
@@ -74,6 +84,9 @@ fn run_par(values: &[u32], out: &mut [u32], threads: usize, morsel: usize) {
         8,
         values,
         lookup,
+        // SAFETY: `run_interleaved_par` passes each input index exactly
+        // once, and `i < out.len()` by construction, so the disjoint
+        // writes contract of `DisjointOut::write` holds.
         |i, r| unsafe { sink.write(i, r) },
     );
 }

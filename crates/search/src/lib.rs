@@ -20,6 +20,11 @@
 //! [`par`] layers morsel-parallel `*_par` variants over every bulk
 //! driver (same kernels, worker threads claiming morsels).
 
+// Escalated from the workspace-level warn: every unsafe fn body in
+// this crate must discharge its obligations through explicit inner
+// blocks (each carrying a SAFETY comment, enforced by xtask lint).
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod adaptive;
 pub mod amac;
 pub mod autotune;

@@ -65,6 +65,7 @@ use isi_core::par::ParConfig;
 use isi_core::policy::Interleave;
 use isi_core::sched::RunStats;
 use isi_core::stats::LatencyHist;
+use isi_core::sync::{CondvarExt, MutexExt};
 use isi_hash::table::HashKey;
 
 use crate::store::{LookupScratch, ShardedStore};
@@ -136,17 +137,17 @@ impl<T> Ticket<T> {
     }
 
     fn fulfill(&self, result: T) {
-        *self.slot.lock().unwrap() = Some(result);
+        *self.slot.plock("ticket slot") = Some(result);
         self.ready.notify_one();
     }
 
     fn wait(&self) -> T {
-        let mut slot = self.slot.lock().unwrap();
+        let mut slot = self.slot.plock("ticket slot");
         loop {
             if let Some(result) = slot.take() {
                 return result;
             }
-            slot = self.ready.wait(slot).unwrap();
+            slot = self.ready.pwait(slot, "ticket slot (await result)");
         }
     }
 }
@@ -458,13 +459,13 @@ impl LookupService {
     /// queue holds `queue_cap` entries (backpressure).
     fn enqueue(&self, shard: usize, op: Op) {
         let state = &self.shards[shard];
-        let mut q = state.q.lock().unwrap();
+        let mut q = state.q.plock("admission queue");
         loop {
             assert!(q.open, "request on a closed LookupService");
             if q.reqs.len() < self.cfg.queue_cap {
                 break;
             }
-            q = state.space.wait(q).unwrap();
+            q = state.space.pwait(q, "admission queue (backpressure)");
         }
         q.reqs.push_back(Entry {
             op,
@@ -486,7 +487,7 @@ impl LookupService {
         let cached = self.shards[shard]
             .cache
             .as_ref()
-            .and_then(|cache| cache.lock().unwrap().probe(key));
+            .and_then(|cache| cache.plock("hot-key cache").probe(key));
         if let Some(result) = cached {
             self.shards[shard]
                 .cache_hits
@@ -615,7 +616,7 @@ impl LookupService {
     pub fn stats(&self) -> ServeStats {
         let mut total = ServeStats::default();
         for state in &self.shards {
-            let m = state.metrics.lock().unwrap();
+            let m = state.metrics.plock("shard metrics");
             total.requests += m.requests;
             total.gets += m.gets;
             total.puts += m.puts;
@@ -644,7 +645,7 @@ impl LookupService {
     pub fn close(&mut self) {
         self.closed.store(true, Ordering::Relaxed);
         for state in &self.shards {
-            let mut q = state.q.lock().unwrap();
+            let mut q = state.q.plock("admission queue");
             q.open = false;
             state.work.notify_all();
             state.space.notify_all();
@@ -685,13 +686,13 @@ fn dispatch_loop(store: &ShardedStore, shard: usize, state: &ShardState, cfg: Se
         out: Vec::with_capacity(cfg.batch.max_batch),
         scratch: LookupScratch::default(),
     };
-    let mut q = state.q.lock().unwrap();
+    let mut q = state.q.plock("admission queue");
     loop {
         if q.reqs.is_empty() {
             if !q.open {
                 return;
             }
-            q = state.work.wait(q).unwrap();
+            q = state.work.pwait(q, "admission queue (dispatcher idle)");
             continue;
         }
         let full = q.reqs.len() >= cfg.batch.max_batch;
@@ -702,7 +703,10 @@ fn dispatch_loop(store: &ShardedStore, shard: usize, state: &ShardState, cfg: Se
             let deadline = q.reqs[0].enqueued + cfg.batch.max_wait;
             let now = Instant::now();
             if now < deadline {
-                (q, _) = state.work.wait_timeout(q, deadline - now).unwrap();
+                (q, _) =
+                    state
+                        .work
+                        .pwait_timeout(q, deadline - now, "admission queue (batch deadline)");
                 continue;
             }
         }
@@ -714,7 +718,7 @@ fn dispatch_loop(store: &ShardedStore, shard: usize, state: &ShardState, cfg: Se
 
         execute_batch(store, shard, state, cfg, &mut bufs, full);
 
-        q = state.q.lock().unwrap();
+        q = state.q.plock("admission queue");
     }
 }
 
@@ -743,7 +747,7 @@ fn execute_batch(
     // Count the flush up front: no ticket from this batch can resolve
     // before the batch itself is visible in the stats.
     {
-        let mut m = state.metrics.lock().unwrap();
+        let mut m = state.metrics.plock("shard metrics");
         m.batches += 1;
         if full {
             m.full_flushes += 1;
@@ -785,14 +789,14 @@ fn execute_batch(
             // only mutator of this shard, so these results are current
             // until the next write it applies.
             if let Some(cache) = &state.cache {
-                let mut cache = cache.lock().unwrap();
+                let mut cache = cache.plock("hot-key cache");
                 for &(ei, start, _) in &bufs.run_spans {
                     if let Op::Get { key, .. } = &bufs.batch[ei].op {
                         cache.insert(*key, bufs.out[start]);
                     }
                 }
             }
-            let mut m = state.metrics.lock().unwrap();
+            let mut m = state.metrics.plock("shard metrics");
             m.engine.merge(&outcome.engine);
             m.delta_hits += outcome.delta_hits;
             for &(ei, start, len) in &bufs.run_spans {
@@ -824,9 +828,9 @@ fn execute_batch(
                 Op::Put { key, val, ticket } => {
                     let result = store.put(*key, *val);
                     if let Some(cache) = &state.cache {
-                        cache.lock().unwrap().invalidate(*key);
+                        cache.plock("hot-key cache").invalidate(*key);
                     }
-                    let mut m = state.metrics.lock().unwrap();
+                    let mut m = state.metrics.plock("shard metrics");
                     m.puts += 1;
                     ticket.fulfill(result);
                     m.requests += 1;
@@ -835,9 +839,9 @@ fn execute_batch(
                 Op::Remove { key, ticket } => {
                     let result = store.remove(*key);
                     if let Some(cache) = &state.cache {
-                        cache.lock().unwrap().invalidate(*key);
+                        cache.plock("hot-key cache").invalidate(*key);
                     }
-                    let mut m = state.metrics.lock().unwrap();
+                    let mut m = state.metrics.plock("shard metrics");
                     m.removes += 1;
                     ticket.fulfill(result);
                     m.requests += 1;
@@ -845,7 +849,7 @@ fn execute_batch(
                 }
                 Op::Range { lo, hi, ticket } => {
                     let pairs = store.scan_range(shard, *lo, *hi);
-                    let mut m = state.metrics.lock().unwrap();
+                    let mut m = state.metrics.plock("shard metrics");
                     m.range_scans += 1;
                     ticket.fulfill(pairs);
                     m.requests += 1;

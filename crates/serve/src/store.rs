@@ -57,6 +57,7 @@ use isi_core::par::ParConfig;
 use isi_core::policy::Interleave;
 use isi_core::sched::RunStats;
 use isi_core::stats::LatencyHist;
+use isi_core::sync::{CondvarExt, MutexExt};
 use isi_csb::CsbShard;
 use isi_hash::table::HashKey;
 use isi_hash::HashShard;
@@ -447,7 +448,7 @@ impl ShardedStore {
         self.inner
             .shards
             .iter()
-            .map(|s| s.merge_stats.lock().unwrap().merges)
+            .map(|s| s.merge_stats.plock("shard merge stats").merges)
             .sum()
     }
 
@@ -458,14 +459,14 @@ impl ShardedStore {
         self.inner
             .shards
             .iter()
-            .map(|s| s.merge_stats.lock().unwrap().bg_merges)
+            .map(|s| s.merge_stats.plock("shard merge stats").bg_merges)
             .sum()
     }
 
     /// Merge jobs queued or in flight right now (a point-in-time
     /// gauge; 0 once [`quiesce`](Self::quiesce)d).
     pub fn merge_backlog(&self) -> usize {
-        let q = self.inner.merge_q.lock().unwrap();
+        let q = self.inner.merge_q.plock("merge queue");
         q.queue.len() + q.in_flight as usize
     }
 
@@ -473,7 +474,7 @@ impl ShardedStore {
     pub fn merge_latency(&self) -> LatencyHist {
         let mut hist = LatencyHist::new();
         for s in &self.inner.shards {
-            hist.merge(&s.merge_stats.lock().unwrap().merge_ns);
+            hist.merge(&s.merge_stats.plock("shard merge stats").merge_ns);
         }
         hist
     }
@@ -491,9 +492,9 @@ impl ShardedStore {
     /// queue observed drain, which is the fixpoint once writers stop.
     /// Returns immediately in foreground mode.
     pub fn quiesce(&self) {
-        let mut q = self.inner.merge_q.lock().unwrap();
+        let mut q = self.inner.merge_q.plock("merge queue");
         while !q.queue.is_empty() || q.in_flight {
-            q = self.inner.merge_done.wait(q).unwrap();
+            q = self.inner.merge_done.pwait(q, "merge queue (drain)");
         }
     }
 
@@ -531,14 +532,16 @@ impl ShardedStore {
         let inner = &*self.inner;
         let si = self.shard_of(key);
         let shard = &inner.shards[si];
-        let mut w = shard.write.lock().unwrap();
+        let mut w = shard.write.plock("shard write state");
         if inner.cfg.merge_mode == MergeMode::Background {
             // Hard bound: past max_delta this shard's writers wait for
             // the merger (which never needs this lock to make
             // progress... it does take it to publish, but we release
             // it while waiting on the condvar).
             while shard.version.load().delta.len() >= inner.cfg.max_delta {
-                w = shard.delta_space.wait(w).unwrap();
+                w = shard
+                    .delta_space
+                    .pwait(w, "shard write state (delta backpressure)");
             }
         }
         let cur = shard.version.load();
@@ -562,7 +565,7 @@ impl ShardedStore {
                 }));
                 if crossed && !w.pending {
                     w.pending = true;
-                    let mut q = inner.merge_q.lock().unwrap();
+                    let mut q = inner.merge_q.plock("merge queue");
                     q.queue.push_back(si);
                     inner.merge_work.notify_one();
                 }
@@ -578,7 +581,7 @@ impl ShardedStore {
                     main: cur.main.rebuild(&merged),
                     delta: Delta::default(),
                 }));
-                let mut stats = shard.merge_stats.lock().unwrap();
+                let mut stats = shard.merge_stats.plock("shard merge stats");
                 stats.merges += 1;
                 stats.merge_ns.record(t0.elapsed().as_nanos() as u64);
             }
@@ -716,7 +719,7 @@ impl Drop for ShardedStore {
     fn drop(&mut self) {
         if let Some(handle) = self.merger.take() {
             {
-                let mut q = self.inner.merge_q.lock().unwrap();
+                let mut q = self.inner.merge_q.plock("merge queue");
                 q.shutdown = true;
                 self.inner.merge_work.notify_all();
             }
@@ -731,7 +734,7 @@ impl StoreInner {
     fn merger_loop(&self) {
         loop {
             let si = {
-                let mut q = self.merge_q.lock().unwrap();
+                let mut q = self.merge_q.plock("merge queue");
                 loop {
                     if let Some(si) = q.queue.pop_front() {
                         q.in_flight = true;
@@ -740,11 +743,11 @@ impl StoreInner {
                     if q.shutdown {
                         return;
                     }
-                    q = self.merge_work.wait(q).unwrap();
+                    q = self.merge_work.pwait(q, "merge queue (worker idle)");
                 }
             };
             self.merge_shard(si);
-            let mut q = self.merge_q.lock().unwrap();
+            let mut q = self.merge_q.plock("merge queue");
             q.in_flight = false;
             self.merge_done.notify_all();
         }
@@ -760,14 +763,14 @@ impl StoreInner {
         // part, and writers must keep landing in the delta meanwhile.
         let v0 = shard.version.load();
         if v0.delta.is_empty() {
-            let mut w = shard.write.lock().unwrap();
+            let mut w = shard.write.plock("shard write state");
             w.pending = false;
             shard.delta_space.notify_all();
             return;
         }
         let merged = merge_pairs(&v0.main.pairs(), &v0.delta.entries);
         let main = v0.main.rebuild(&merged);
-        let mut w = shard.write.lock().unwrap();
+        let mut w = shard.write.plock("shard write state");
         let cur = shard.version.load();
         // An entry of the current delta is already reflected in the
         // new main iff the snapshot delta recorded exactly the same
@@ -788,7 +791,7 @@ impl StoreInner {
             delta: Delta { entries: residual },
         }));
         {
-            let mut stats = shard.merge_stats.lock().unwrap();
+            let mut stats = shard.merge_stats.plock("shard merge stats");
             stats.merges += 1;
             stats.bg_merges += 1;
             stats.merge_ns.record(t0.elapsed().as_nanos() as u64);
@@ -796,7 +799,7 @@ impl StoreInner {
         if rekick {
             // Still over threshold (writers were busy): merge again.
             // `pending` stays true to keep gating duplicate enqueues.
-            let mut q = self.merge_q.lock().unwrap();
+            let mut q = self.merge_q.plock("merge queue");
             q.queue.push_back(si);
             self.merge_work.notify_one();
         } else {

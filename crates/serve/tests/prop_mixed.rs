@@ -67,7 +67,8 @@ fn service(store: ShardedStore, hot_cache_slots: usize) -> LookupService {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(4))]
+    // One case under Miri (threaded store under an interpreter).
+    #![proptest_config(ProptestConfig::with_cases(if cfg!(miri) { 1 } else { 4 }))]
 
     #[test]
     fn mixed_schedule_matches_hashmap_oracle(

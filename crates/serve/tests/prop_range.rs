@@ -73,7 +73,8 @@ fn oracle_range(oracle: &BTreeMap<u64, u64>, lo: u64, hi: u64) -> Vec<(u64, u64)
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(4))]
+    // One case under Miri (threaded store under an interpreter).
+    #![proptest_config(ProptestConfig::with_cases(if cfg!(miri) { 1 } else { 4 }))]
 
     #[test]
     fn get_range_matches_btreemap_oracle(

@@ -50,7 +50,9 @@ fn policies() -> [BatchPolicy; 3] {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(6))]
+    // One case under Miri: each case spins up the full threaded
+    // service, which the interpreter executes ~100x slower.
+    #![proptest_config(ProptestConfig::with_cases(if cfg!(miri) { 1 } else { 6 }))]
 
     #[test]
     fn concurrent_clients_match_sequential_oracle(

@@ -1,0 +1,646 @@
+//! Tree-wide invariant checks that clippy cannot express.
+//!
+//! Four rules, each guarding a policy this workspace has adopted:
+//!
+//! * **R1 — SAFETY comments.** Every `unsafe` token must have a
+//!   `// SAFETY:` (or rustdoc `# Safety` section) within the ten
+//!   preceding lines. An unsafe block whose obligation is not written
+//!   down decays into folklore.
+//! * **R2 — unsafe allowlist.** `unsafe` may only appear in the
+//!   modules listed in [`UNSAFE_ALLOWLIST`] — the hot-path files
+//!   whose pointer arithmetic has been reviewed. New unsafe anywhere
+//!   else is a deliberate, reviewed decision: extend the allowlist in
+//!   the same commit.
+//! * **R1b — deny escalation.** Any crate (or test binary) containing
+//!   `unsafe` must carry `#![deny(unsafe_op_in_unsafe_fn)]` at its
+//!   root, so an `unsafe fn` body cannot silently perform unsafe ops
+//!   without an inner block to hang R1 on.
+//! * **R3 — schema-tag registry.** Bench JSON schema tags
+//!   (`"isi-…/vN"` string literals) may only be *defined* in
+//!   `crates/bench/src/schema.rs`; everything else must import the
+//!   registry constant. Scattered literals are how two writers drift
+//!   one version apart.
+//! * **R4 — poison-aware locks in serve.** `crates/serve` must
+//!   acquire locks through the `isi_core::sync` helpers
+//!   (`plock`/`pread`/`pwrite`/`pwait`), never bare
+//!   `.lock().unwrap()` — the helpers turn a poisoned lock into a
+//!   tagged panic that names the protocol instead of an opaque
+//!   `PoisonError`.
+//!
+//! Rules operate on an in-memory `(path, content)` list so the unit
+//! tests below can prove each rule fires on a seeded violation, not
+//! just that the current tree is clean.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Files allowed to contain `unsafe` (repo-relative, `/`-separated).
+/// Extending this list is a reviewed decision: the new module's
+/// invariants must be documented at its unsafe sites (R1 enforces
+/// the comments; this list enforces the review).
+const UNSAFE_ALLOWLIST: &[&str] = &[
+    "crates/core/src/coro.rs",
+    "crates/core/src/mem.rs",
+    "crates/core/src/par.rs",
+    "crates/core/src/prefetch.rs",
+    "crates/core/src/sched.rs",
+    "crates/core/src/stats.rs",
+    "crates/core/tests/alloc_steady.rs",
+    "crates/csb/src/lookup.rs",
+    "crates/hash/src/probe.rs",
+    "crates/search/src/par.rs",
+];
+
+/// The one file allowed to spell out bench schema-tag literals.
+const SCHEMA_REGISTRY: &str = "crates/bench/src/schema.rs";
+
+/// Directories (relative to the repo root) the lint walks. `vendor/`
+/// is deliberately excluded: the stubs mimic external crates and are
+/// not covered by workspace policy.
+const WALK_ROOTS: &[&str] = &["crates", "src", "examples", "xtask"];
+
+/// One finding, formatted like a compiler diagnostic.
+pub struct Violation {
+    pub path: String,
+    pub line: usize,
+    pub rule: &'static str,
+    pub msg: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.msg
+        )
+    }
+}
+
+/// Walk the tree under `root` and run every rule.
+pub fn run(root: &Path) -> io::Result<Vec<Violation>> {
+    let mut files = Vec::new();
+    for dir in WALK_ROOTS {
+        let dir = root.join(dir);
+        if dir.is_dir() {
+            collect_rs_files(root, &dir, &mut files)?;
+        }
+    }
+    files.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(check_files(&files))
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<(String, String)>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .expect("walked path under root")
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push((rel, fs::read_to_string(&path)?));
+        }
+    }
+    Ok(())
+}
+
+/// Run every rule over an in-memory file set (unit-testable core).
+fn check_files(files: &[(String, String)]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (path, content) in files {
+        check_unsafe_rules(path, content, files, &mut out);
+        check_schema_registry(path, content, &mut out);
+        check_serve_locks(path, content, &mut out);
+    }
+    out
+}
+
+// ---- source sanitization ----
+
+/// Blank out comments (and optionally string/char literals) with
+/// spaces, preserving line structure, so token scans cannot be fooled
+/// by prose or data.
+fn sanitize(content: &str, strip_strings: bool) -> String {
+    let bytes = content.as_bytes();
+    let mut out = bytes.to_vec();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    out[i] = b' ';
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let mut depth = 0usize;
+                while i < bytes.len() {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        out[i] = b' ';
+                        out[i + 1] = b' ';
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        out[i] = b' ';
+                        out[i + 1] = b' ';
+                        i += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        if bytes[i] != b'\n' {
+                            out[i] = b' ';
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => i = skip_string(bytes, &mut out, i, strip_strings),
+            b'r' if matches!(bytes.get(i + 1), Some(&b'"') | Some(&b'#')) => {
+                i = skip_raw_string(bytes, &mut out, i, strip_strings);
+            }
+            b'\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`): a lifetime's
+                // identifier is not followed by a closing quote.
+                let is_lifetime = bytes
+                    .get(i + 1)
+                    .is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_')
+                    && bytes.get(i + 2) != Some(&b'\'');
+                if is_lifetime {
+                    i += 1;
+                } else {
+                    let start = i;
+                    i += 1;
+                    while i < bytes.len() && bytes[i] != b'\'' {
+                        if bytes[i] == b'\\' {
+                            i += 1;
+                        }
+                        i += 1;
+                    }
+                    i = (i + 1).min(bytes.len());
+                    if strip_strings {
+                        for b in &mut out[start..i] {
+                            if *b != b'\n' {
+                                *b = b' ';
+                            }
+                        }
+                    }
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    String::from_utf8(out).expect("sanitizer only writes ASCII spaces")
+}
+
+fn skip_string(bytes: &[u8], out: &mut [u8], start: usize, strip: bool) -> usize {
+    let mut i = start + 1;
+    while i < bytes.len() && bytes[i] != b'"' {
+        if bytes[i] == b'\\' {
+            i += 1;
+        }
+        i += 1;
+    }
+    let end = (i + 1).min(bytes.len());
+    if strip {
+        for b in &mut out[start..end] {
+            if *b != b'\n' {
+                *b = b' ';
+            }
+        }
+    }
+    end
+}
+
+fn skip_raw_string(bytes: &[u8], out: &mut [u8], start: usize, strip: bool) -> usize {
+    let mut hashes = 0;
+    let mut i = start + 1;
+    while bytes.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if bytes.get(i) != Some(&b'"') {
+        // `r#ident` (raw identifier), not a raw string.
+        return start + 1;
+    }
+    i += 1;
+    'scan: while i < bytes.len() {
+        if bytes[i] == b'"' {
+            let mut j = i + 1;
+            for _ in 0..hashes {
+                if bytes.get(j) != Some(&b'#') {
+                    i += 1;
+                    continue 'scan;
+                }
+                j += 1;
+            }
+            i = j;
+            break;
+        }
+        i += 1;
+    }
+    if strip {
+        for b in &mut out[start..i.min(bytes.len())] {
+            if *b != b'\n' {
+                *b = b' ';
+            }
+        }
+    }
+    i
+}
+
+/// Does `line` contain `unsafe` as a standalone token?
+fn has_unsafe_token(line: &str) -> bool {
+    let bytes = line.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = line[from..].find("unsafe") {
+        let start = from + pos;
+        let end = start + "unsafe".len();
+        let pre_ok =
+            start == 0 || !(bytes[start - 1].is_ascii_alphanumeric() || bytes[start - 1] == b'_');
+        let post_ok =
+            end >= bytes.len() || !(bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_');
+        if pre_ok && post_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+// ---- R1 / R1b / R2: unsafe discipline ----
+
+/// How far above an `unsafe` token a SAFETY comment may sit and still
+/// count as "adjacent".
+const SAFETY_WINDOW: usize = 10;
+
+fn check_unsafe_rules(
+    path: &str,
+    content: &str,
+    files: &[(String, String)],
+    out: &mut Vec<Violation>,
+) {
+    let code = sanitize(content, true);
+    let raw_lines: Vec<&str> = content.lines().collect();
+    let mut any_unsafe = false;
+    for (idx, line) in code.lines().enumerate() {
+        if !has_unsafe_token(line) {
+            continue;
+        }
+        any_unsafe = true;
+        if !UNSAFE_ALLOWLIST.contains(&path) {
+            out.push(Violation {
+                path: path.to_string(),
+                line: idx + 1,
+                rule: "unsafe-allowlist",
+                msg: "`unsafe` outside the reviewed allowlist (xtask/src/lint.rs \
+                      UNSAFE_ALLOWLIST); keep unsafe in the designated hot-path modules"
+                    .to_string(),
+            });
+        }
+        let window_start = idx.saturating_sub(SAFETY_WINDOW);
+        let documented = raw_lines[window_start..=idx.min(raw_lines.len() - 1)]
+            .iter()
+            .any(|l| l.contains("SAFETY:") || l.contains("# Safety"));
+        if !documented {
+            out.push(Violation {
+                path: path.to_string(),
+                line: idx + 1,
+                rule: "safety-comment",
+                msg: format!(
+                    "`unsafe` without an adjacent `// SAFETY:` comment (within {SAFETY_WINDOW} \
+                     lines); write down the obligation being discharged"
+                ),
+            });
+        }
+    }
+    // R1b: a crate that uses unsafe anywhere must escalate
+    // unsafe_op_in_unsafe_fn to deny at its root.
+    if any_unsafe {
+        let root = crate_root_of(path);
+        let root_content = if root == path {
+            Some(content)
+        } else {
+            files
+                .iter()
+                .find(|(p, _)| *p == root)
+                .map(|(_, c)| c.as_str())
+        };
+        let has_deny = root_content.is_some_and(|c| c.contains("#![deny(unsafe_op_in_unsafe_fn)]"));
+        if !has_deny {
+            out.push(Violation {
+                path: root.clone(),
+                line: 1,
+                rule: "deny-unsafe-op",
+                msg: format!(
+                    "crate root must carry #![deny(unsafe_op_in_unsafe_fn)] because \
+                     {path} contains unsafe"
+                ),
+            });
+        }
+    }
+}
+
+/// The crate-root file responsible for `path`'s `#![...]` attributes.
+/// Integration tests, benches, examples and `src/bin` files are their
+/// own crate roots.
+fn crate_root_of(path: &str) -> String {
+    let own_root = path.contains("/tests/")
+        || path.contains("/benches/")
+        || path.contains("/examples/")
+        || path.contains("/bin/")
+        || path.ends_with("src/lib.rs")
+        || path.ends_with("src/main.rs");
+    if own_root {
+        return path.to_string();
+    }
+    if let Some(pos) = path.rfind("/src/") {
+        return format!("{}/src/lib.rs", &path[..pos]);
+    }
+    path.to_string()
+}
+
+// ---- R3: schema-tag registry ----
+
+/// Find `isi-…/vN` schema tags in comment-stripped source (anything
+/// left after stripping comments lives in a string literal — hyphens
+/// and slashes cannot appear in identifiers).
+fn find_schema_tag(line: &str) -> Option<usize> {
+    let bytes = line.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = line[from..].find("isi-") {
+        let start = from + pos;
+        let mut i = start + 4;
+        while i < bytes.len()
+            && (bytes[i].is_ascii_lowercase() || bytes[i].is_ascii_digit() || bytes[i] == b'-')
+        {
+            i += 1;
+        }
+        if i > start + 4
+            && bytes.get(i) == Some(&b'/')
+            && bytes.get(i + 1) == Some(&b'v')
+            && bytes.get(i + 2).is_some_and(u8::is_ascii_digit)
+        {
+            return Some(start);
+        }
+        from = start + 4;
+    }
+    None
+}
+
+fn check_schema_registry(path: &str, content: &str, out: &mut Vec<Violation>) {
+    // The registry defines the tags; the lint's own tests seed fake
+    // tags as string fixtures.
+    if path == SCHEMA_REGISTRY || path == "xtask/src/lint.rs" {
+        return;
+    }
+    let code = sanitize(content, false); // keep strings: tags live there
+    for (idx, line) in code.lines().enumerate() {
+        if find_schema_tag(line).is_some() {
+            out.push(Violation {
+                path: path.to_string(),
+                line: idx + 1,
+                rule: "schema-registry",
+                msg: format!(
+                    "bench schema tag literal outside {SCHEMA_REGISTRY}; import the \
+                     registry constant instead of respelling the tag"
+                ),
+            });
+        }
+    }
+}
+
+// ---- R4: poison-aware locks in serve ----
+
+/// Bare-unwrap lock patterns forbidden in `crates/serve` (the
+/// poison-swallowing `.lock().unwrap()` family).
+const BARE_LOCK_PATTERNS: &[&str] = &[".lock().unwrap()", ".read().unwrap()", ".write().unwrap()"];
+
+/// Calls that must go through the `CondvarExt`/`MutexExt` helpers
+/// when followed by `.unwrap()` nearby (chained across lines or not).
+const BARE_WAIT_HEADS: &[&str] = &[".lock()", ".read()", ".write()", ".wait(", ".wait_timeout("];
+
+fn check_serve_locks(path: &str, content: &str, out: &mut Vec<Violation>) {
+    if !path.starts_with("crates/serve/") {
+        return;
+    }
+    let code = sanitize(content, true);
+    let lines: Vec<&str> = code.lines().collect();
+    for (idx, line) in lines.iter().enumerate() {
+        let single = BARE_LOCK_PATTERNS.iter().any(|p| line.contains(p));
+        // A chained `.lock()\n.unwrap()` split across lines is the
+        // same violation with rustfmt in the middle.
+        let chained = BARE_WAIT_HEADS.iter().any(|head| {
+            line.contains(head)
+                && lines[idx..(idx + 3).min(lines.len())]
+                    .iter()
+                    .any(|l| l.contains(".unwrap()"))
+        });
+        if single || chained {
+            out.push(Violation {
+                path: path.to_string(),
+                line: idx + 1,
+                rule: "serve-poison-policy",
+                msg: "bare lock/wait unwrap in crates/serve; use the isi_core::sync \
+                      helpers (plock/pread/pwrite/pwait/pwait_timeout) so a poisoned \
+                      lock panics with a protocol tag"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn files(list: &[(&str, &str)]) -> Vec<(String, String)> {
+        list.iter()
+            .map(|(p, c)| (p.to_string(), c.to_string()))
+            .collect()
+    }
+
+    fn rules_fired(violations: &[Violation]) -> Vec<&'static str> {
+        violations.iter().map(|v| v.rule).collect()
+    }
+
+    #[test]
+    fn clean_tree_passes() {
+        let fs = files(&[
+            (
+                "crates/core/src/lib.rs",
+                "#![deny(unsafe_op_in_unsafe_fn)]\npub mod par;\n",
+            ),
+            (
+                "crates/core/src/par.rs",
+                "fn f(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees p is valid.\n    unsafe { *p }\n}\n",
+            ),
+            (
+                "crates/bench/src/schema.rs",
+                "pub const THROUGHPUT: &str = \"isi-throughput/v1\";\n",
+            ),
+            (
+                "crates/serve/src/store.rs",
+                "use isi_core::MutexExt;\nfn f(m: &std::sync::Mutex<u32>) -> u32 { *m.plock(\"shard\") }\n",
+            ),
+        ]);
+        let v = check_files(&fs);
+        assert!(v.is_empty(), "clean tree flagged: {:?}", rules_fired(&v));
+    }
+
+    #[test]
+    fn unsafe_without_safety_comment_fires() {
+        let fs = files(&[
+            (
+                "crates/core/src/lib.rs",
+                "#![deny(unsafe_op_in_unsafe_fn)]\n",
+            ),
+            (
+                "crates/core/src/par.rs",
+                "fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n",
+            ),
+        ]);
+        let v = check_files(&fs);
+        assert!(
+            rules_fired(&v).contains(&"safety-comment"),
+            "{:?}",
+            rules_fired(&v)
+        );
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn unsafe_outside_allowlist_fires() {
+        let fs = files(&[(
+            "crates/serve/src/store.rs",
+            "// SAFETY: seeded violation for the lint's own test.\nfn f() { unsafe { std::hint::unreachable_unchecked() } }\n",
+        )]);
+        let v = check_files(&fs);
+        assert!(
+            rules_fired(&v).contains(&"unsafe-allowlist"),
+            "{:?}",
+            rules_fired(&v)
+        );
+    }
+
+    #[test]
+    fn missing_deny_attr_fires() {
+        let fs = files(&[
+            ("crates/core/src/lib.rs", "pub mod par;\n"),
+            (
+                "crates/core/src/par.rs",
+                "fn f(p: *const u8) -> u8 {\n    // SAFETY: test.\n    unsafe { *p }\n}\n",
+            ),
+        ]);
+        let v = check_files(&fs);
+        assert!(
+            rules_fired(&v).contains(&"deny-unsafe-op"),
+            "{:?}",
+            rules_fired(&v)
+        );
+        assert_eq!(v[0].path, "crates/core/src/lib.rs");
+    }
+
+    #[test]
+    fn test_files_are_their_own_crate_root() {
+        let fs = files(&[(
+            "crates/core/tests/alloc_steady.rs",
+            "// SAFETY: test.\nfn f(p: *const u8) -> u8 { unsafe { *p } }\n",
+        )]);
+        let v = check_files(&fs);
+        assert!(
+            rules_fired(&v).contains(&"deny-unsafe-op"),
+            "{:?}",
+            rules_fired(&v)
+        );
+        assert_eq!(v[0].path, "crates/core/tests/alloc_steady.rs");
+    }
+
+    #[test]
+    fn unsafe_in_comments_and_strings_ignored() {
+        let fs = files(&[(
+            "crates/serve/src/store.rs",
+            "// this comment says unsafe\nconst X: &str = \"unsafe\"; /* unsafe */\n",
+        )]);
+        assert!(check_files(&fs).is_empty());
+    }
+
+    #[test]
+    fn schema_tag_outside_registry_fires() {
+        let fs = files(&[(
+            "crates/bench/src/serve.rs",
+            "pub const SCHEMA: &str = \"isi-serve/v1\";\n",
+        )]);
+        let v = check_files(&fs);
+        assert!(
+            rules_fired(&v).contains(&"schema-registry"),
+            "{:?}",
+            rules_fired(&v)
+        );
+    }
+
+    #[test]
+    fn schema_tag_in_doc_comment_allowed() {
+        let fs = files(&[(
+            "crates/bench/src/serve.rs",
+            "//! Emits `isi-serve/v1` documents.\nuse crate::schema;\n",
+        )]);
+        assert!(check_files(&fs).is_empty());
+    }
+
+    #[test]
+    fn bare_lock_unwrap_in_serve_fires() {
+        let fs = files(&[(
+            "crates/serve/src/service.rs",
+            "fn f(m: &std::sync::Mutex<u32>) -> u32 { *m.lock().unwrap() }\n",
+        )]);
+        let v = check_files(&fs);
+        assert!(
+            rules_fired(&v).contains(&"serve-poison-policy"),
+            "{:?}",
+            rules_fired(&v)
+        );
+    }
+
+    #[test]
+    fn chained_wait_unwrap_in_serve_fires() {
+        let fs = files(&[(
+            "crates/serve/src/service.rs",
+            "fn f() {\n    let g = cv\n        .wait(guard)\n        .unwrap();\n}\n",
+        )]);
+        let v = check_files(&fs);
+        assert!(
+            rules_fired(&v).contains(&"serve-poison-policy"),
+            "{:?}",
+            rules_fired(&v)
+        );
+    }
+
+    #[test]
+    fn bare_lock_unwrap_outside_serve_allowed() {
+        let fs = files(&[(
+            "crates/core/src/par.rs",
+            "fn f(m: &std::sync::Mutex<u32>) -> u32 { *m.lock().unwrap() }\n",
+        )]);
+        assert!(check_files(&fs).is_empty());
+    }
+
+    #[test]
+    fn sanitizer_handles_lifetimes_and_raw_strings() {
+        let src = "fn f<'a>(x: &'a str) -> char { let c = 'x'; let s = r#\"unsafe\"#; c }\n";
+        let fs = files(&[("crates/serve/src/store.rs", src)]);
+        assert!(check_files(&fs).is_empty());
+    }
+}
