@@ -9,11 +9,12 @@
 //! `--mixed` instead sweeps {backend} × {shard count} × {write
 //! fraction} over the **writable** store — closed-loop clients whose
 //! op streams mix `get`/`put`/`remove`/`get_range` — and writes
-//! `BENCH_serve_mixed.json` (schema `isi-serve-mixed/v2`), including
+//! `BENCH_serve_mixed.json` (schema `isi-serve-mixed/v3`), including
 //! merge counts (background vs foreground), merge latency, plan-stage
-//! delta hits / residual fraction, range-scan counts and
-//! hot-key-cache hits. Both binaries' documents self-verify before
-//! exiting.
+//! delta hits / residual fraction, range-scan counts, hot-key-cache
+//! hits and — with `--wal on` — WAL record/fsync counts plus the
+//! timed crash recovery each cell runs at teardown. Both binaries'
+//! documents self-verify before exiting.
 //!
 //! ```text
 //! serve [--smoke] [--out PATH]        run the read-only sweep
@@ -28,7 +29,10 @@
 //! `--group N`, `--threshold N` (delta merge threshold, mixed sweep),
 //! `--cache N` (hot-key cache slots, mixed sweep), `--range F`
 //! (range-scan fraction in [0, 1], mixed sweep), `--bg-merge on|off`
-//! (background merger vs inline write-path merges, mixed sweep).
+//! (background merger vs inline write-path merges, mixed sweep),
+//! `--wal on|off` (per-shard write-ahead log with group-commit fsyncs
+//! and snapshot-at-merge; each cell times a full crash recovery at
+//! teardown, mixed sweep).
 
 use isi_bench::serve::{
     run_mixed_sweep, run_sweep, to_json, to_mixed_json, verify, verify_any_text, verify_mixed,
@@ -145,6 +149,14 @@ fn main() {
                     other => fail(&format!("bad --bg-merge {other:?} (need on|off)")),
                 };
             }
+            "--wal" => {
+                mixed_only_flags.push("--wal");
+                mixed_cfg.wal = match value("--wal").as_str() {
+                    "on" | "true" | "1" => true,
+                    "off" | "false" | "0" => false,
+                    other => fail(&format!("bad --wal {other:?} (need on|off)")),
+                };
+            }
             "--rate" => {
                 readonly_only_flags.push("--rate");
                 cfg.open_rate_rps = value("--rate")
@@ -201,7 +213,7 @@ fn main() {
 
     let doc = if mixed {
         println!(
-            "# mixed serve sweep: backends={:?} shards={:?} write-fractions={:?} range-fraction={} keys={} clients={} reqs/client={} threshold={} cache={} bg-merge={}",
+            "# mixed serve sweep: backends={:?} shards={:?} write-fractions={:?} range-fraction={} keys={} clients={} reqs/client={} threshold={} cache={} bg-merge={} wal={}",
             mixed_cfg.backends.iter().map(|b| b.name()).collect::<Vec<_>>(),
             mixed_cfg.shard_counts,
             mixed_cfg.write_fractions,
@@ -212,6 +224,7 @@ fn main() {
             mixed_cfg.merge_threshold,
             mixed_cfg.hot_cache_slots,
             mixed_cfg.bg_merge,
+            mixed_cfg.wal,
         );
         let cells = run_mixed_sweep(&mixed_cfg, |c| {
             println!(

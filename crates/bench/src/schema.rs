@@ -20,8 +20,9 @@ pub const THROUGHPUT: &str = "isi-throughput/v1";
 pub const SERVE: &str = "isi-serve/v1";
 
 /// `BENCH_serve_mixed.json` — mixed read/write sweep (v2 added the
-/// per-policy merge/cache columns).
-pub const SERVE_MIXED: &str = "isi-serve-mixed/v2";
+/// per-policy merge/cache columns; v3 added the durability columns:
+/// WAL mode, fsync mode, record/sync counts, recovery time).
+pub const SERVE_MIXED: &str = "isi-serve-mixed/v3";
 
 #[cfg(test)]
 mod tests {

@@ -20,7 +20,7 @@
 //! not just engine time.
 //!
 //! A second, **mixed read/write** sweep (`--mixed`, schema
-//! `isi-serve-mixed/v2`) drives closed-loop clients whose operation
+//! `isi-serve-mixed/v3`) drives closed-loop clients whose operation
 //! streams contain a configurable write fraction (puts + removes) and
 //! range-scan fraction (`get_range` over a fixed key span) against a
 //! writable store, with merges on the background merger thread by
@@ -33,7 +33,9 @@ use std::time::{Duration, Instant};
 
 use isi_core::par::ParConfig;
 use isi_core::policy::Interleave;
-use isi_serve::{Backend, BatchPolicy, LookupService, ServeConfig, ShardedStore, StoreConfig};
+use isi_serve::{
+    Backend, BatchPolicy, FsyncMode, LookupService, ServeConfig, ShardedStore, StoreConfig,
+};
 use isi_workloads::uniform_indices;
 
 use crate::json::{self, num, obj, str, Json};
@@ -517,6 +519,12 @@ pub struct MixedBenchCfg {
     /// Run merges on the background merger thread (the default); off
     /// = foreground merges on the write path, for A/B comparison.
     pub bg_merge: bool,
+    /// Write-ahead-log durability: on = every cell runs on a fresh
+    /// WAL directory with group-commit fsyncs ([`FsyncMode::Group`]),
+    /// merges publish snapshots, and the cell's teardown times a full
+    /// crash recovery; off (the default) = the in-memory store of the
+    /// original sweep.
+    pub wal: bool,
     /// Per-shard delta entries that trigger a merge.
     pub merge_threshold: usize,
     /// Per-shard hot-key cache slots (0 disables).
@@ -543,6 +551,7 @@ impl MixedBenchCfg {
             range_fraction: 0.05,
             range_span: 512,
             bg_merge: true,
+            wal: false,
             // 16k ops across 2 shards: 1% writes stay delta-resident,
             // 10% merge about once per shard, 50% merge repeatedly.
             merge_threshold: 512,
@@ -570,6 +579,7 @@ impl MixedBenchCfg {
             range_fraction: 0.10,
             range_span: 128,
             bg_merge: true,
+            wal: false,
             // ~10% of 1024 ops are writes across 2 shards: low enough
             // a threshold of 24 forces real merges in the smoke cell.
             merge_threshold: 24,
@@ -637,6 +647,14 @@ pub struct MixedCell {
     pub merge_p50_ns: u64,
     /// Residual delta entries when the cell finished (post-quiesce).
     pub delta_keys: u64,
+    /// WAL records appended (0 with `wal` off; one per dispatched
+    /// write run under group commit).
+    pub wal_records: u64,
+    /// WAL fsyncs issued (≤ `wal_records` under group commit).
+    pub wal_syncs: u64,
+    /// Wall time of a full crash recovery from the cell's WAL
+    /// directory after shutdown, nanoseconds (0 with `wal` off).
+    pub recovery_ns: f64,
 }
 
 /// Per-client deterministic op stream: `(key, roll)` where `roll` is
@@ -669,7 +687,20 @@ pub fn measure_mixed_cell(
     if !cfg.bg_merge {
         store_cfg = store_cfg.foreground();
     }
-    let store = ShardedStore::build_with(backend, shards, &pairs, store_cfg);
+    let wal_dir = cfg.wal.then(|| {
+        std::env::temp_dir().join(format!(
+            "isi-bench-wal-{}-{}-{}-{}",
+            std::process::id(),
+            backend.name(),
+            shards,
+            (write_fraction * 1e6) as u64
+        ))
+    });
+    if let Some(dir) = &wal_dir {
+        let _ = std::fs::remove_dir_all(dir);
+        store_cfg = store_cfg.durable(dir, FsyncMode::Group);
+    }
+    let store = ShardedStore::build_with(backend, shards, &pairs, store_cfg.clone());
     let svc = LookupService::start(
         store,
         ServeConfig {
@@ -720,6 +751,28 @@ pub fn measure_mixed_cell(
     // cell's fixpoint, not a race with the last write.
     svc.store().quiesce();
     let stats = svc.stats();
+    // With the WAL on, the cell's teardown doubles as a recovery
+    // benchmark: shut the service down cleanly, time a full
+    // snapshot + WAL-tail recovery from the cell's directory, and
+    // check it restored every surviving key.
+    let recovery_ns = if let Some(dir) = &wal_dir {
+        let live = svc.store().len();
+        drop(svc);
+        let t = Instant::now();
+        let recovered = ShardedStore::recover(backend, store_cfg)
+            .expect("crash recovery from the bench WAL directory");
+        let recovery_ns = t.elapsed().as_nanos() as f64;
+        assert_eq!(
+            recovered.len(),
+            live,
+            "recovery restored a different key count"
+        );
+        drop(recovered);
+        let _ = std::fs::remove_dir_all(dir);
+        recovery_ns
+    } else {
+        0.0
+    };
     let (gets, puts, removes, range_scans, hits) = totals.into_iter().fold(
         (0u64, 0u64, 0u64, 0u64, 0u64),
         |(g, p, r, s, h), (cg, cp, cr, cs, ch)| (g + cg, p + cp, r + cr, s + cs, h + ch),
@@ -750,6 +803,9 @@ pub fn measure_mixed_cell(
         bg_merges: stats.bg_merges,
         merge_p50_ns: stats.merge_latency.p50(),
         delta_keys: stats.delta_keys,
+        wal_records: stats.wal_records,
+        wal_syncs: stats.wal_syncs,
+        recovery_ns,
     }
 }
 
@@ -772,7 +828,7 @@ pub fn run_mixed_sweep(
     cells
 }
 
-/// Serialize a finished mixed sweep to the `isi-serve-mixed/v2`
+/// Serialize a finished mixed sweep to the `isi-serve-mixed/v3`
 /// document.
 pub fn to_mixed_json(cfg: &MixedBenchCfg, cells: &[MixedCell]) -> Json {
     let results: Vec<Json> = cells
@@ -806,6 +862,9 @@ pub fn to_mixed_json(cfg: &MixedBenchCfg, cells: &[MixedCell]) -> Json {
                 ("bg_merges", num(c.bg_merges as f64)),
                 ("merge_p50_ns", num(c.merge_p50_ns as f64)),
                 ("delta_keys", num(c.delta_keys as f64)),
+                ("wal_records", num(c.wal_records as f64)),
+                ("wal_syncs", num(c.wal_syncs as f64)),
+                ("recovery_ns", num(c.recovery_ns.round())),
             ])
         })
         .collect();
@@ -845,6 +904,15 @@ pub fn to_mixed_json(cfg: &MixedBenchCfg, cells: &[MixedCell]) -> Json {
                 ("range_fraction", num(cfg.range_fraction)),
                 ("range_span", num(cfg.range_span as f64)),
                 ("bg_merge", Json::Bool(cfg.bg_merge)),
+                ("wal", Json::Bool(cfg.wal)),
+                (
+                    "fsync",
+                    str(if cfg.wal {
+                        FsyncMode::Group.name()
+                    } else {
+                        FsyncMode::Off.name()
+                    }),
+                ),
                 ("merge_threshold", num(cfg.merge_threshold as f64)),
                 ("hot_cache_slots", num(cfg.hot_cache_slots as f64)),
                 (
@@ -919,6 +987,23 @@ pub fn verify_mixed(doc: &Json) -> Result<(), String> {
         .get("bg_merge")
         .and_then(Json::as_bool)
         .ok_or("missing config.bg_merge")?;
+    let wal = config
+        .get("wal")
+        .and_then(Json::as_bool)
+        .ok_or("missing config.wal")?;
+    let fsync = config
+        .get("fsync")
+        .and_then(Json::as_str)
+        .ok_or("missing config.fsync")?;
+    if FsyncMode::from_name(fsync).is_none() {
+        return Err(format!("unknown fsync mode {fsync:?} in config"));
+    }
+    if wal && fsync == FsyncMode::Off.name() {
+        return Err("wal on but fsync mode is off".into());
+    }
+    if !wal && fsync != FsyncMode::Off.name() {
+        return Err(format!("wal off but fsync mode is {fsync:?}"));
+    }
     let range_fraction = config
         .get("range_fraction")
         .and_then(Json::as_f64)
@@ -1000,6 +1085,36 @@ pub fn verify_mixed(doc: &Json) -> Result<(), String> {
                         "cell {cell_name}: residual_frac {rf} outside [0, 1]"
                     ));
                 }
+                let (wal_records, wal_syncs, recovery) = (
+                    count("wal_records"),
+                    count("wal_syncs"),
+                    count("recovery_ns"),
+                );
+                if wal {
+                    // Writes went through the log: records for every
+                    // write-bearing cell, group commit never syncing
+                    // more than once per record, and a timed recovery.
+                    if puts + removes > 0.0 && wal_records <= 0.0 {
+                        return Err(format!(
+                            "cell {cell_name}: wal on with writes but no WAL records"
+                        ));
+                    }
+                    if wal_syncs > wal_records {
+                        return Err(format!(
+                            "cell {cell_name}: wal_syncs ({wal_syncs}) > wal_records \
+                             ({wal_records})"
+                        ));
+                    }
+                    if !(recovery.is_finite() && recovery > 0.0) {
+                        return Err(format!(
+                            "cell {cell_name}: wal on but no recovery time recorded"
+                        ));
+                    }
+                } else if wal_records != 0.0 || wal_syncs != 0.0 || recovery != 0.0 {
+                    return Err(format!(
+                        "cell {cell_name}: wal off but durability counters are non-zero"
+                    ));
+                }
                 let (p50, p95, p99) = (count("p50_ns"), count("p95_ns"), count("p99_ns"));
                 if !(0.0 <= p50 && p50 <= p95 && p95 <= p99) {
                     return Err(format!(
@@ -1068,6 +1183,7 @@ mod tests {
             range_fraction: 0.15,
             range_span: 64,
             bg_merge: true,
+            wal: false,
             merge_threshold: 16,
             hot_cache_slots: 16,
             policy: PolicySpec {
@@ -1103,6 +1219,56 @@ mod tests {
         let doc = to_mixed_json(&cfg, &cells);
         verify_mixed(&doc).expect("self-produced mixed document must verify");
         verify_any_text(&doc.to_pretty()).expect("round-trip verify via schema dispatch");
+    }
+
+    #[test]
+    fn mixed_sweep_with_wal_records_durability_columns() {
+        let mut cfg = tiny_mixed_cfg();
+        cfg.wal = true;
+        cfg.backends = vec![Backend::Sorted];
+        cfg.shard_counts = vec![2];
+        let cells = run_mixed_sweep(&cfg, |_| {});
+        assert_eq!(cells.len(), 2);
+        for c in &cells {
+            // Every cell timed a recovery; only write-bearing cells
+            // produced WAL records, and group commit never fsyncs
+            // more than once per record.
+            assert!(c.recovery_ns > 0.0);
+            assert!(c.wal_syncs <= c.wal_records);
+            if c.write_fraction == 0.0 {
+                assert_eq!(c.wal_records, 0);
+            } else {
+                assert!(c.wal_records > 0);
+                assert!(c.wal_syncs > 0);
+            }
+        }
+        let doc = to_mixed_json(&cfg, &cells);
+        verify_mixed(&doc).expect("wal mixed document must verify");
+    }
+
+    #[test]
+    fn verify_mixed_rejects_incoherent_durability_columns() {
+        let cfg = tiny_mixed_cfg();
+        let cells = run_mixed_sweep(&cfg, |_| {});
+        let mut doc = to_mixed_json(&cfg, &cells);
+        // Claiming wal-off cells produced WAL records must fail.
+        if let Json::Obj(fields) = &mut doc {
+            for (k, v) in fields.iter_mut() {
+                if k == "results" {
+                    if let Json::Arr(cells) = v {
+                        if let Json::Obj(cell) = &mut cells[0] {
+                            for (ck, cv) in cell.iter_mut() {
+                                if ck == "wal_records" {
+                                    *cv = num(7.0);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let err = verify_mixed(&doc).expect_err("non-zero wal counters with wal off");
+        assert!(err.contains("durability counters"), "{err}");
     }
 
     #[test]

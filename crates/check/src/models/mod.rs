@@ -16,12 +16,15 @@
 //! | [`merge`] | Main/Delta merge publish: a mid-rebuild write survives as residual delta |
 //! | [`cache`] | hot-key cache: invalidate-before-ack ⇒ no stale read after own-write ack |
 //! | [`queue`] | bounded admission queue: no lost wakeup / deadlock at backpressure |
+//! | [`wal`] | WAL group commit + snapshot-truncate: acked ⇒ durable, frontier monotone |
 //!
-//! [`epoch::torn_publish`] is a **known-bad** model kept as a
-//! calibration target: the test suite asserts the explorer *finds*
-//! its violation and that the printed seed replays it.
+//! [`epoch::torn_publish`] and [`wal::truncate_before_snapshot_sync`]
+//! are **known-bad** models kept as calibration targets: the test
+//! suite asserts the explorer *finds* their violations and that the
+//! printed seeds replay them.
 
 pub mod cache;
 pub mod epoch;
 pub mod merge;
 pub mod queue;
+pub mod wal;

@@ -1,0 +1,181 @@
+//! Model of the WAL group-commit + snapshot-truncate protocol in
+//! `isi_durable`/`isi_serve::store`.
+//!
+//! The real write path appends one record per dispatched run, fsyncs,
+//! and only then acknowledges the run's tickets (**ack ⇒ durable**).
+//! The merger writes a snapshot covering a sequence cut, fsyncs and
+//! renames it, and only then rewrites the WAL down to the residual
+//! (**snapshot before truncate**). The model collapses a shard's disk
+//! to sequence numbers: the WAL is a list of appended seqs with a
+//! durable prefix length (an fsync extends it), the snapshot is a
+//! covered seq with a separately-tracked durable seq (its fsync+rename
+//! publishes it), and a "crash probe" computes what recovery would see
+//! — the durable WAL prefix plus the durable snapshot — at whatever
+//! point the scheduler places it. Invariants:
+//!
+//! 1. **No acked write is lost**: every acknowledged seq is in the
+//!    durable WAL prefix or covered by the durable snapshot, at every
+//!    probe point.
+//! 2. **Recovery frontier is monotone**: successive probes never see
+//!    the recoverable frontier (durable snapshot seq ⊔ durable WAL
+//!    max) move backwards.
+//!
+//! [`truncate_before_snapshot_sync`] is the deliberately broken
+//! variant — the merger truncates the WAL *before* the snapshot's
+//! fsync — and some interleaving must lose an acked write between the
+//! truncate and the sync. The test suite asserts the explorer finds
+//! it.
+
+use std::sync::Arc;
+
+use crate::sync::Mutex;
+use crate::vt;
+
+/// One shard's disk, in sequence numbers.
+struct Disk {
+    /// Appended WAL record seqs (OS buffer; a crash keeps a prefix).
+    wal: Vec<u64>,
+    /// Length of the durable (fsynced) WAL prefix.
+    wal_synced: usize,
+    /// Snapshot tmp contents: covers all seqs ≤ this (not yet durable).
+    snap_staged: u64,
+    /// Durable snapshot cover (fsync + rename + dir sync done).
+    snap_synced: u64,
+    /// Seqs acknowledged to clients.
+    acked: Vec<u64>,
+}
+
+impl Disk {
+    fn new() -> Self {
+        Disk {
+            wal: Vec::new(),
+            wal_synced: 0,
+            snap_staged: 0,
+            snap_synced: 0,
+            acked: Vec::new(),
+        }
+    }
+
+    /// What recovery would find if the machine died right now.
+    fn probe(&self) -> (u64, Vec<u64>) {
+        let durable: Vec<u64> = self.wal[..self.wal_synced].to_vec();
+        let frontier = durable
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
+            .max(self.snap_synced);
+        (frontier, durable)
+    }
+}
+
+/// Writer: one group-committed run, append → fsync → ack, as in
+/// `DurableState::log_run` followed by ticket fulfillment. (One run
+/// keeps the bounded-exhaustive state space small; the invariants
+/// don't depend on run count.)
+fn writer(disk: &Arc<Mutex<Disk>>) -> vt::JoinHandle {
+    let disk = Arc::clone(disk);
+    vt::spawn(move || {
+        let seq = 1u64;
+        disk.lock().wal.push(seq); // append the record
+        {
+            let mut d = disk.lock(); // fsync the log
+            d.wal_synced = d.wal.len();
+        }
+        disk.lock().acked.push(seq); // fulfill the run's tickets
+    })
+}
+
+/// One crash probe, run on the main virtual thread: the invariants
+/// must hold for the durable image alone, wherever the scheduler
+/// places it. Returns the recovery frontier for the monotonicity
+/// check against a later probe.
+fn probe(disk: &Arc<Mutex<Disk>>, last_frontier: u64) -> u64 {
+    let d = disk.lock();
+    let (frontier, durable) = d.probe();
+    for &a in &d.acked {
+        assert!(
+            a <= d.snap_synced || durable.contains(&a),
+            "acked write lost: seq {a} not durable \
+             (snapshot covers {}, durable wal {durable:?})",
+            d.snap_synced,
+        );
+    }
+    assert!(
+        frontier >= last_frontier,
+        "recovery frontier went backwards: {frontier} < {last_frontier}"
+    );
+    frontier
+}
+
+/// The faithful protocol: the merger stages the snapshot, makes it
+/// durable, and only then truncates the WAL. No interleaving can lose
+/// an acked write or regress the recovery frontier.
+pub fn group_commit_truncate_safe() {
+    let disk = Arc::new(Mutex::new(Disk::new()));
+    let w = writer(&disk);
+    let merger = {
+        let disk = Arc::clone(&disk);
+        vt::spawn(move || {
+            // Snapshot cut + tmp write: the cut is whatever has been
+            // appended so far (the real merger reads (version,
+            // wal_seq) under the write lock; replay past the cut is
+            // idempotent), and the tmp write is invisible until
+            // synced, so one critical section models both.
+            let cover = {
+                let mut d = disk.lock();
+                let cover = d.wal.last().copied().unwrap_or(0);
+                d.snap_staged = cover;
+                cover
+            };
+            {
+                let mut d = disk.lock(); // fsync + rename + dir sync
+                d.snap_synced = d.snap_staged;
+            }
+            {
+                let mut d = disk.lock(); // rewrite WAL to the residual
+                d.wal.retain(|&s| s > cover);
+                d.wal_synced = d.wal.len();
+            }
+        })
+    };
+    let frontier = probe(&disk, 0);
+    w.join();
+    merger.join();
+    // Final probe after both threads are done: everything acked must
+    // still be recoverable, and the frontier never regressed.
+    probe(&disk, frontier);
+}
+
+/// The known-bad variant: the merger truncates the WAL **before** the
+/// snapshot's fsync. A crash between the two loses every acked write
+/// the staged-but-volatile snapshot was supposed to cover — the
+/// explorer must find this (see `tests/models.rs`).
+pub fn truncate_before_snapshot_sync() {
+    let disk = Arc::new(Mutex::new(Disk::new()));
+    let w = writer(&disk);
+    let merger = {
+        let disk = Arc::clone(&disk);
+        vt::spawn(move || {
+            let cover = {
+                let mut d = disk.lock();
+                let cover = d.wal.last().copied().unwrap_or(0);
+                d.snap_staged = cover;
+                cover
+            };
+            {
+                let mut d = disk.lock(); // BUG: truncate first…
+                d.wal.retain(|&s| s > cover);
+                d.wal_synced = d.wal.len();
+            }
+            {
+                let mut d = disk.lock(); // …sync the snapshot after
+                d.snap_synced = d.snap_staged;
+            }
+        })
+    };
+    let frontier = probe(&disk, 0);
+    w.join();
+    merger.join();
+    probe(&disk, frontier);
+}

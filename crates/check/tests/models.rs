@@ -62,6 +62,44 @@ fn queue_timeout_notify_race() {
     );
 }
 
+#[test]
+fn wal_group_commit_acked_writes_survive_truncation() {
+    let n = check(
+        "wal group commit",
+        Config::default(),
+        models::wal::group_commit_truncate_safe,
+    );
+    assert!(n > 1, "model has no concurrency ({n} interleaving)");
+}
+
+/// Truncating the WAL before the snapshot's fsync must lose an acked
+/// write under some interleaving — and the seed must replay it.
+#[test]
+fn explorer_catches_truncate_before_snapshot_sync() {
+    let outcome = explore(
+        Config::default(),
+        models::wal::truncate_before_snapshot_sync,
+    );
+    let Outcome::Violation(v) = outcome else {
+        panic!("truncate-before-sync not caught: {outcome:?}");
+    };
+    assert!(
+        v.message.contains("acked write lost"),
+        "unexpected violation: {}",
+        v.message
+    );
+    let replayed = replay(
+        Config::default(),
+        &v.seed,
+        models::wal::truncate_before_snapshot_sync,
+    )
+    .expect("replay seed did not reproduce the violation");
+    assert!(
+        replayed.contains("acked write lost"),
+        "replay diverged: {replayed}"
+    );
+}
+
 /// The deliberately broken EpochCell variant: the explorer must find
 /// the torn snapshot and report a seed that deterministically replays
 /// the same violation.

@@ -43,13 +43,27 @@
 //!    latency absorbs a rebuild
 //!    ([`MergeMode::Foreground`](store::MergeMode) retains the old
 //!    inline behavior for A/B runs).
-//! 5. **Measure** — per-entry latency (admission → response) lands in
+//! 5. **Survive crashes (opt-in)** — with
+//!    [`StoreConfig::wal_dir`](store::StoreConfig) set, every
+//!    dispatched write run appends **one checksummed WAL record** to
+//!    its shard's log and fsyncs **once per run** before any ticket in
+//!    the run resolves ([`FsyncMode::Group`] — group commit: batching
+//!    amortizes the fsync exactly like it amortizes the interleaved
+//!    engine). Merges double as **snapshots**: the merger's rebuilt
+//!    pairs are serialized, fsynced, atomically renamed, and the WAL
+//!    truncates to the residual delta.
+//!    [`ShardedStore::recover`](store::ShardedStore::recover) reloads
+//!    newest-valid-snapshot + WAL-tail replay per shard, discarding
+//!    torn or bit-flipped tails by CRC — see [`isi_durable`] for the
+//!    formats, the crash-ordering invariants, and the fault-injection
+//!    harness that exercises them.
+//! 6. **Measure** — per-entry latency (admission → response) lands in
 //!    a log-bucketed [`LatencyHist`](isi_core::stats::LatencyHist),
 //!    and [`ServeStats`](service::ServeStats) adds write, cache,
 //!    plan (`delta_hits`, `residual_frac`), range-scan, delta-size,
-//!    merge-backlog and merge-latency counters, so every dial the
-//!    system exposes (flush policy, merge threshold, merge mode) is
-//!    observable.
+//!    merge-backlog, merge-latency and WAL (`wal_records`,
+//!    `wal_syncs`) counters, so every dial the system exposes (flush
+//!    policy, merge threshold, merge mode, fsync mode) is observable.
 //!
 //! ```
 //! use isi_serve::{Backend, LookupService, ServeConfig, ShardedStore};
@@ -85,6 +99,7 @@ pub mod plan;
 pub mod service;
 pub mod store;
 
+pub use isi_durable::FsyncMode;
 pub use plan::BatchPlan;
 pub use service::{BatchPolicy, LookupService, ServeConfig, ServeStats};
 pub use store::{Backend, BatchOutcome, LookupScratch, MergeMode, ShardedStore, StoreConfig};

@@ -14,11 +14,15 @@
 //!
 //! **Writes ride the same queues.** `put`/`remove` enqueue on the
 //! owning shard alongside reads, and the dispatcher preserves FIFO
-//! order within a batch: consecutive reads form engine runs, writes
-//! apply in admission order between runs. One client's `put` therefore
-//! happens-before its next `get` of the same key (read-your-writes per
-//! client), and all mutation of a shard funnels through its one
-//! dispatcher thread.
+//! order within a batch: consecutive reads form engine runs, and
+//! consecutive writes form **write runs** applied as one
+//! [`ShardedStore::apply_write_run`] call — which, on a durable store,
+//! is the **group-commit unit**: one WAL record and one fsync cover
+//! the whole run before any of its tickets resolve, amortizing the
+//! fsync exactly like batching amortizes the interleaved engine. One
+//! client's `put` happens-before its next `get` of the same key
+//! (read-your-writes per client), and all mutation of a shard funnels
+//! through its one dispatcher thread.
 //!
 //! **`get_many`** pre-partitions a key slice by shard on the client
 //! side and submits one admission entry per shard, so an n-key lookup
@@ -334,6 +338,13 @@ pub struct ServeStats {
     pub merge_latency: LatencyHist,
     /// Current delta entries across all shards of the store.
     pub delta_keys: u64,
+    /// WAL records the store's write path appended (0 with durability
+    /// off). Group commit packs a whole write run into one record.
+    pub wal_records: u64,
+    /// Write-path WAL fsyncs the store issued (0 with durability off
+    /// or `FsyncMode::Off`); `wal_records / wal_syncs` ≈ the group
+    /// size the fsync cost was amortized over.
+    pub wal_syncs: u64,
 }
 
 impl ServeStats {
@@ -636,6 +647,7 @@ impl LookupService {
         total.merge_backlog = self.store.merge_backlog() as u64;
         total.merge_latency = self.store.merge_latency();
         total.delta_keys = self.store.delta_len() as u64;
+        (total.wal_records, total.wal_syncs) = self.store.wal_stats();
         total
     }
 
@@ -672,6 +684,12 @@ struct DispatchBufs {
     run_spans: Vec<(usize, usize, usize)>,
     out: Vec<Option<u64>>,
     scratch: LookupScratch,
+    /// Ops of the current write run (the group-commit unit).
+    write_ops: Vec<(u64, Option<u64>)>,
+    /// Entry index per op of the current write run.
+    write_idx: Vec<usize>,
+    /// Previously visible value per op, filled by the store.
+    write_prevs: Vec<Option<u64>>,
 }
 
 /// The per-shard dispatcher: wait for work, flush on `max_batch` or
@@ -685,6 +703,9 @@ fn dispatch_loop(store: &ShardedStore, shard: usize, state: &ShardState, cfg: Se
         run_spans: Vec::with_capacity(cfg.batch.max_batch),
         out: Vec::with_capacity(cfg.batch.max_batch),
         scratch: LookupScratch::default(),
+        write_ops: Vec::with_capacity(cfg.batch.max_batch),
+        write_idx: Vec::with_capacity(cfg.batch.max_batch),
+        write_prevs: Vec::with_capacity(cfg.batch.max_batch),
     };
     let mut q = state.q.plock("admission queue");
     loop {
@@ -817,46 +838,67 @@ fn execute_batch(
             }
         }
         // Apply the writes and range scans that ended the run, in
-        // admission order. The store write (which may block briefly at
-        // the max_delta bound), the range scan and the cache
-        // invalidation run unlocked; only the counter-update + fulfill
-        // pair takes the metrics lock.
+        // admission order. Consecutive writes form one write run —
+        // one `apply_write_run` call, which on a durable store is one
+        // WAL record + one fsync (group commit) covering every op in
+        // the run before any of its tickets resolve. The store call
+        // (which may block briefly at the max_delta bound), the range
+        // scan and the cache invalidation run unlocked; only the
+        // counter-update + fulfill pass takes the metrics lock.
         while i < bufs.batch.len() {
-            let entry = &bufs.batch[i];
-            match &entry.op {
+            match &bufs.batch[i].op {
                 Op::Get { .. } | Op::GetMany { .. } => break,
-                Op::Put { key, val, ticket } => {
-                    let result = store.put(*key, *val);
+                Op::Put { .. } | Op::Remove { .. } => {
+                    bufs.write_ops.clear();
+                    bufs.write_idx.clear();
+                    while i < bufs.batch.len() {
+                        match &bufs.batch[i].op {
+                            Op::Put { key, val, .. } => bufs.write_ops.push((*key, Some(*val))),
+                            Op::Remove { key, .. } => bufs.write_ops.push((*key, None)),
+                            _ => break,
+                        }
+                        bufs.write_idx.push(i);
+                        i += 1;
+                    }
+                    store.apply_write_run(&bufs.write_ops, &mut bufs.write_prevs);
+                    // Invalidate before fulfilling: a client whose
+                    // write just acked must not then read a stale
+                    // cached value.
                     if let Some(cache) = &state.cache {
-                        cache.plock("hot-key cache").invalidate(*key);
+                        let mut cache = cache.plock("hot-key cache");
+                        for &(key, _) in &bufs.write_ops {
+                            cache.invalidate(key);
+                        }
                     }
                     let mut m = state.metrics.plock("shard metrics");
-                    m.puts += 1;
-                    ticket.fulfill(result);
-                    m.requests += 1;
-                    m.hist.record(entry.enqueued.elapsed().as_nanos() as u64);
-                }
-                Op::Remove { key, ticket } => {
-                    let result = store.remove(*key);
-                    if let Some(cache) = &state.cache {
-                        cache.plock("hot-key cache").invalidate(*key);
+                    for (&ei, &prev) in bufs.write_idx.iter().zip(&bufs.write_prevs) {
+                        let entry = &bufs.batch[ei];
+                        match &entry.op {
+                            Op::Put { ticket, .. } => {
+                                m.puts += 1;
+                                ticket.fulfill(prev);
+                            }
+                            Op::Remove { ticket, .. } => {
+                                m.removes += 1;
+                                ticket.fulfill(prev);
+                            }
+                            _ => unreachable!("read in write run"),
+                        }
+                        m.requests += 1;
+                        m.hist.record(entry.enqueued.elapsed().as_nanos() as u64);
                     }
-                    let mut m = state.metrics.plock("shard metrics");
-                    m.removes += 1;
-                    ticket.fulfill(result);
-                    m.requests += 1;
-                    m.hist.record(entry.enqueued.elapsed().as_nanos() as u64);
                 }
                 Op::Range { lo, hi, ticket } => {
                     let pairs = store.scan_range(shard, *lo, *hi);
+                    let entry = &bufs.batch[i];
                     let mut m = state.metrics.plock("shard metrics");
                     m.range_scans += 1;
                     ticket.fulfill(pairs);
                     m.requests += 1;
                     m.hist.record(entry.enqueued.elapsed().as_nanos() as u64);
+                    i += 1;
                 }
             }
-            i += 1;
         }
     }
 }

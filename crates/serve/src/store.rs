@@ -46,7 +46,9 @@
 //! leave every shard's table using only a fraction of its buckets.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -59,6 +61,7 @@ use isi_core::sched::RunStats;
 use isi_core::stats::LatencyHist;
 use isi_core::sync::{CondvarExt, MutexExt};
 use isi_csb::CsbShard;
+use isi_durable::{self as durable, DiskFs, Fs, FsyncMode};
 use isi_hash::table::HashKey;
 use isi_hash::HashShard;
 use isi_search::SortedShard;
@@ -124,7 +127,7 @@ pub enum MergeMode {
 }
 
 /// Store tuning knobs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StoreConfig {
     /// Delta entries (upserts + tombstones) in one shard that trigger
     /// a merge of that shard. `1` requests a merge on every write;
@@ -139,22 +142,42 @@ pub struct StoreConfig {
     pub max_delta: usize,
     /// Where merges run.
     pub merge_mode: MergeMode,
+    /// Directory for the per-shard write-ahead logs and snapshots.
+    /// `None` (the default) disables durability entirely — no WAL, no
+    /// snapshots, no recovery, zero write-path I/O. `Some(dir)` makes
+    /// [`ShardedStore::build_with`] initialize a fresh store there
+    /// (clobbering any previous one) and
+    /// [`ShardedStore::recover`] reload the store that directory holds.
+    pub wal_dir: Option<PathBuf>,
+    /// When WAL appends are fsynced. Ignored unless `wal_dir` is set
+    /// (or an [`Fs`] is injected via the `_with_fs` constructors).
+    pub fsync: FsyncMode,
 }
 
 impl StoreConfig {
     /// Background merges with the given threshold and a `4×` headroom
-    /// bound (`max_delta = 4 * merge_threshold`).
+    /// bound (`max_delta = 4 * merge_threshold`); durability off.
     pub fn with_threshold(merge_threshold: usize) -> Self {
         Self {
             merge_threshold,
             max_delta: merge_threshold.saturating_mul(4),
             merge_mode: MergeMode::Background,
+            wal_dir: None,
+            fsync: FsyncMode::Group,
         }
     }
 
     /// This configuration with merges forced inline on the write path.
     pub fn foreground(mut self) -> Self {
         self.merge_mode = MergeMode::Foreground;
+        self
+    }
+
+    /// This configuration with durability on: per-shard WALs and
+    /// snapshots under `dir`, fsynced per `fsync`.
+    pub fn durable(mut self, dir: impl Into<PathBuf>, fsync: FsyncMode) -> Self {
+        self.wal_dir = Some(dir.into());
+        self.fsync = fsync;
         self
     }
 }
@@ -187,14 +210,13 @@ impl Delta {
             .map(|i| self.entries[i].1)
     }
 
-    /// A copy of this delta with `key` overridden (last write wins).
-    fn with_upsert(&self, key: u64, val: Option<u64>) -> Delta {
-        let mut entries = self.entries.clone();
-        match entries.binary_search_by_key(&key, |e| e.0) {
-            Ok(i) => entries[i].1 = val,
-            Err(i) => entries.insert(i, (key, val)),
+    /// Override `key` in place (last write wins). Only ever called on
+    /// a private clone — published deltas stay immutable.
+    fn upsert(&mut self, key: u64, val: Option<u64>) {
+        match self.entries.binary_search_by_key(&key, |e| e.0) {
+            Ok(i) => self.entries[i].1 = val,
+            Err(i) => self.entries.insert(i, (key, val)),
         }
-        Delta { entries }
     }
 
     /// Number of overrides (upserts + tombstones).
@@ -223,6 +245,11 @@ struct WriteState {
     /// A merge job for this shard is queued or running; gates
     /// duplicate enqueues.
     pending: bool,
+    /// Sequence of the last WAL record appended for this shard (0 =
+    /// none since the covering snapshot at build). Monotone; holding
+    /// the write lock across append + publish keeps WAL order equal
+    /// to publication order.
+    wal_seq: u64,
 }
 
 /// Per-shard merge accounting, behind its **own** mutex so that
@@ -260,6 +287,70 @@ struct MergeQueue {
     shutdown: bool,
 }
 
+/// The store's attached durability layer: the file system holding the
+/// per-shard WALs and snapshots, plus write-path I/O accounting.
+/// I/O errors on the write and merge paths panic with context (the
+/// store is crash-only: an inconsistent log is worse than no store),
+/// while [`ShardedStore::recover`] returns errors — recovery runs
+/// before anything was promised to callers.
+struct DurableState {
+    fs: Arc<dyn Fs>,
+    fsync: FsyncMode,
+    /// WAL records appended by the write path.
+    wal_records: AtomicU64,
+    /// Write-path fsyncs issued (excludes merge-time snapshot syncs).
+    wal_syncs: AtomicU64,
+}
+
+impl DurableState {
+    /// Append one record to `shard`'s WAL and fsync it per the mode
+    /// (no sync in [`FsyncMode::Off`]). Caller holds the shard write
+    /// lock, which orders appends by sequence.
+    fn log_run(&self, shard: usize, seq: u64, ops: &[(u64, Option<u64>)]) {
+        let name = durable::wal_name(shard);
+        let rec = durable::encode_record(seq, ops);
+        self.fs
+            .append(&name, &rec)
+            .unwrap_or_else(|e| panic!("WAL append failed for shard {shard}: {e}"));
+        self.wal_records.fetch_add(1, Ordering::Relaxed);
+        if self.fsync != FsyncMode::Off {
+            self.fs
+                .sync(&name)
+                .unwrap_or_else(|e| panic!("WAL fsync failed for shard {shard}: {e}"));
+            self.wal_syncs.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Serialize and fsync a snapshot of `merged` (covering WAL
+    /// sequence `seq`) to the shard's temp file. The bulky half of a
+    /// durable merge publish — the background merger runs it *outside*
+    /// the shard write lock.
+    fn stage_snapshot(&self, shard: usize, seq: u64, merged: &[(u64, u64)]) -> String {
+        durable::write_snapshot_tmp(&*self.fs, shard, seq, merged)
+            .unwrap_or_else(|e| panic!("snapshot write failed for shard {shard}: {e}"))
+    }
+
+    /// Commit a staged snapshot and rewrite the WAL down to `residual`
+    /// (one record at `wal_seq`) — strictly in that order, so a crash
+    /// between the two replays the old WAL's extra records
+    /// idempotently on top of the new snapshot. Caller holds the shard
+    /// write lock: nothing may append between the truncation decision
+    /// and the rewrite.
+    fn commit_and_truncate(
+        &self,
+        shard: usize,
+        snap_seq: u64,
+        tmp: &str,
+        wal_seq: u64,
+        residual: &[(u64, Option<u64>)],
+    ) {
+        durable::commit_snapshot(&*self.fs, shard, snap_seq, tmp)
+            .unwrap_or_else(|e| panic!("snapshot commit failed for shard {shard}: {e}"));
+        durable::rewrite_wal(&*self.fs, shard, wal_seq, residual)
+            .unwrap_or_else(|e| panic!("WAL rewrite failed for shard {shard}: {e}"));
+    }
+}
+
 /// State shared between the store handle and its merger thread.
 struct StoreInner {
     backend: Backend,
@@ -269,6 +360,8 @@ struct StoreInner {
     /// Live key count (upserts − tombstoned keys), maintained by the
     /// write path.
     live: AtomicUsize,
+    /// `Some` when the store logs to a WAL directory (or injected fs).
+    durable: Option<DurableState>,
     merge_q: Mutex<MergeQueue>,
     /// Merger waits here for jobs.
     merge_work: Condvar,
@@ -328,36 +421,63 @@ impl ShardedStore {
         Self::build_with(backend, num_shards, pairs, StoreConfig::default())
     }
 
-    /// Build from key/value pairs with explicit tuning knobs.
+    /// Build from key/value pairs with explicit tuning knobs. With
+    /// [`StoreConfig::wal_dir`] set, this **initializes a fresh
+    /// durable store** in that directory (creating it if needed and
+    /// superseding whatever store it held); use [`recover`](Self::recover)
+    /// to reload an existing one instead.
     ///
     /// # Panics
     /// Panics if `num_shards` is not a power of two (including 0), if
-    /// `cfg.merge_threshold` is 0, or if `cfg.max_delta <
-    /// cfg.merge_threshold`.
+    /// `cfg.merge_threshold` is 0, if `cfg.max_delta <
+    /// cfg.merge_threshold`, or if the WAL directory cannot be
+    /// created or initialized.
     pub fn build_with(
         backend: Backend,
         num_shards: usize,
         pairs: &[(u64, u64)],
         cfg: StoreConfig,
     ) -> Self {
+        let fs: Option<Arc<dyn Fs>> = cfg.wal_dir.as_ref().map(|dir| {
+            let disk = DiskFs::create(dir)
+                .unwrap_or_else(|e| panic!("create WAL dir {}: {e}", dir.display()));
+            Arc::new(disk) as Arc<dyn Fs>
+        });
+        Self::build_inner(backend, num_shards, pairs, cfg, fs)
+    }
+
+    /// [`build_with`](Self::build_with), but durable onto an injected
+    /// [`Fs`] (tests use [`isi_durable::MemFs`] / [`isi_durable::FaultFs`])
+    /// instead of a real directory; `cfg.wal_dir` is ignored.
+    pub fn build_with_fs(
+        backend: Backend,
+        num_shards: usize,
+        pairs: &[(u64, u64)],
+        cfg: StoreConfig,
+        fs: Arc<dyn Fs>,
+    ) -> Self {
+        Self::build_inner(backend, num_shards, pairs, cfg, Some(fs))
+    }
+
+    fn build_inner(
+        backend: Backend,
+        num_shards: usize,
+        pairs: &[(u64, u64)],
+        cfg: StoreConfig,
+        fs: Option<Arc<dyn Fs>>,
+    ) -> Self {
         assert!(
             num_shards.is_power_of_two(),
             "num_shards must be a power of two, got {num_shards}"
         );
-        assert!(cfg.merge_threshold > 0, "merge_threshold must be positive");
-        assert!(
-            cfg.max_delta >= cfg.merge_threshold,
-            "max_delta ({}) must be >= merge_threshold ({})",
-            cfg.max_delta,
-            cfg.merge_threshold
-        );
+        Self::validate(&cfg);
         let shard_bits = num_shards.trailing_zeros();
         let mut parts: Vec<Vec<(u64, u64)>> = (0..num_shards).map(|_| Vec::new()).collect();
         for &(k, v) in pairs {
             parts[shard_route(k, shard_bits)].push((k, v));
         }
         let mut live = 0usize;
-        let shards = parts
+        let parts: Vec<Vec<(u64, u64)>> = parts
             .into_iter()
             .map(|mut part| {
                 // Stable sort keeps equal keys in input order; the
@@ -371,28 +491,140 @@ impl ShardedStore {
                     }
                 }
                 live += dedup.len();
-                Shard {
-                    version: EpochCell::new(ShardVersion {
-                        main: backend.build_shard(&dedup),
-                        delta: Delta::default(),
-                    }),
-                    write: Mutex::new(WriteState::default()),
-                    merge_stats: Mutex::new(MergeStats::default()),
-                    delta_space: Condvar::new(),
-                }
+                dedup
             })
             .collect();
+        if let Some(fs) = &fs {
+            // Meta + one seq-0 snapshot and empty WAL per shard; a
+            // crash mid-init leaves no recoverable meta, i.e. no store.
+            durable::init_store(&**fs, &parts)
+                .unwrap_or_else(|e| panic!("initialize durable store: {e}"));
+        }
+        let shards = parts
+            .iter()
+            .map(|dedup| Shard {
+                version: EpochCell::new(ShardVersion {
+                    main: backend.build_shard(dedup),
+                    delta: Delta::default(),
+                }),
+                write: Mutex::new(WriteState::default()),
+                merge_stats: Mutex::new(MergeStats::default()),
+                delta_space: Condvar::new(),
+            })
+            .collect();
+        Self::assemble(backend, shard_bits, cfg, shards, live, fs)
+    }
+
+    /// Reload the durable store in [`StoreConfig::wal_dir`]: per
+    /// shard, the newest valid snapshot plus a replay of the WAL tail
+    /// into the delta. Torn or corrupt WAL tails are repaired (cleanly
+    /// discarded), stale snapshots and temp files deleted. The shard
+    /// count comes from the store's meta file, not from `cfg`.
+    ///
+    /// # Panics
+    /// Panics if `cfg.wal_dir` is `None` or `cfg` is invalid.
+    pub fn recover(backend: Backend, cfg: StoreConfig) -> io::Result<Self> {
+        let dir = cfg.wal_dir.as_ref().expect("recover requires cfg.wal_dir");
+        let fs: Arc<dyn Fs> = Arc::new(DiskFs::open(dir)?);
+        Self::recover_with_fs(backend, cfg, fs)
+    }
+
+    /// [`recover`](Self::recover) from an injected [`Fs`] (tests
+    /// recover from a [`isi_durable::MemFs`] crash image).
+    pub fn recover_with_fs(
+        backend: Backend,
+        cfg: StoreConfig,
+        fs: Arc<dyn Fs>,
+    ) -> io::Result<Self> {
+        Self::validate(&cfg);
+        let num_shards = durable::read_meta(&*fs)? as usize;
+        if !num_shards.is_power_of_two() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("store meta names {num_shards} shards (not a power of two)"),
+            ));
+        }
+        let shard_bits = num_shards.trailing_zeros();
+        let mut live = 0usize;
+        let mut shards = Vec::with_capacity(num_shards);
+        let mut refill = Vec::new();
+        for si in 0..num_shards {
+            let rec = durable::recover_shard(&*fs, si)?;
+            let mut delta = Delta::default();
+            for record in &rec.tail {
+                for &(k, v) in &record.ops {
+                    delta.upsert(k, v);
+                }
+            }
+            live += merge_pairs(&rec.pairs, &delta.entries).len();
+            if delta.len() >= cfg.merge_threshold {
+                refill.push(si);
+            }
+            shards.push(Shard {
+                version: EpochCell::new(ShardVersion {
+                    main: backend.build_shard(&rec.pairs),
+                    delta,
+                }),
+                write: Mutex::new(WriteState {
+                    pending: false,
+                    wal_seq: rec.next_seq,
+                }),
+                merge_stats: Mutex::new(MergeStats::default()),
+                delta_space: Condvar::new(),
+            });
+        }
+        let store = Self::assemble(backend, shard_bits, cfg, shards, live, Some(fs));
+        // Shards whose replayed delta already crossed the threshold
+        // get their merge queued now rather than on the next write.
+        if store.inner.cfg.merge_mode == MergeMode::Background {
+            for si in refill {
+                let mut w = store.inner.shards[si].write.plock("shard write state");
+                w.pending = true;
+                let mut q = store.inner.merge_q.plock("merge queue");
+                q.queue.push_back(si);
+                store.inner.merge_work.notify_one();
+            }
+        }
+        Ok(store)
+    }
+
+    fn validate(cfg: &StoreConfig) {
+        assert!(cfg.merge_threshold > 0, "merge_threshold must be positive");
+        assert!(
+            cfg.max_delta >= cfg.merge_threshold,
+            "max_delta ({}) must be >= merge_threshold ({})",
+            cfg.max_delta,
+            cfg.merge_threshold
+        );
+    }
+
+    fn assemble(
+        backend: Backend,
+        shard_bits: u32,
+        cfg: StoreConfig,
+        shards: Vec<Shard>,
+        live: usize,
+        fs: Option<Arc<dyn Fs>>,
+    ) -> Self {
+        let merge_mode = cfg.merge_mode;
+        let durable = fs.map(|fs| DurableState {
+            fsync: cfg.fsync,
+            fs,
+            wal_records: AtomicU64::new(0),
+            wal_syncs: AtomicU64::new(0),
+        });
         let inner = Arc::new(StoreInner {
             backend,
             shard_bits,
             cfg,
             shards,
             live: AtomicUsize::new(live),
+            durable,
             merge_q: Mutex::new(MergeQueue::default()),
             merge_work: Condvar::new(),
             merge_done: Condvar::new(),
         });
-        let merger = (cfg.merge_mode == MergeMode::Background).then(|| {
+        let merger = (merge_mode == MergeMode::Background).then(|| {
             let inner = Arc::clone(&inner);
             std::thread::Builder::new()
                 .name("isi-merger".into())
@@ -408,8 +640,28 @@ impl ShardedStore {
     }
 
     /// The tuning knobs the store was built with.
-    pub fn config(&self) -> StoreConfig {
-        self.inner.cfg
+    pub fn config(&self) -> &StoreConfig {
+        &self.inner.cfg
+    }
+
+    /// True when the store logs writes to a WAL (a
+    /// [`StoreConfig::wal_dir`] or an injected [`Fs`]).
+    pub fn is_durable(&self) -> bool {
+        self.inner.durable.is_some()
+    }
+
+    /// Write-path durability counters: `(WAL records appended, WAL
+    /// fsyncs issued)` since build. `(0, 0)` when durability is off —
+    /// and under [`FsyncMode::Group`] the sync count per record is
+    /// what group commit amortizes.
+    pub fn wal_stats(&self) -> (u64, u64) {
+        match &self.inner.durable {
+            Some(d) => (
+                d.wal_records.load(Ordering::Relaxed),
+                d.wal_syncs.load(Ordering::Relaxed),
+            ),
+            None => (0, 0),
+        }
     }
 
     /// Number of shards (a power of two).
@@ -511,33 +763,82 @@ impl ShardedStore {
 
     /// Upsert `key = val`; returns the previously visible value
     /// (last-write-wins). May enqueue (background) or perform
-    /// (foreground) a merge of the owning shard.
+    /// (foreground) a merge of the owning shard. A one-op
+    /// [`apply_write_run`](Self::apply_write_run).
     pub fn put(&self, key: u64, val: u64) -> Option<u64> {
-        self.write(key, Some(val))
+        let mut prevs = [None];
+        self.write_shard_run(self.shard_of(key), &[(key, Some(val))], &[0], &mut prevs);
+        prevs[0]
     }
 
     /// Remove `key`; returns the value it held, if any. A miss is a
     /// no-op (no tombstone is recorded for a key that is nowhere).
     pub fn remove(&self, key: u64) -> Option<u64> {
-        self.write(key, None)
+        let mut prevs = [None];
+        self.write_shard_run(self.shard_of(key), &[(key, None)], &[0], &mut prevs);
+        prevs[0]
     }
 
-    /// The shared write path: record the override in the owning
-    /// shard's delta (publishing a new version). At
-    /// `merge_threshold` the write requests maintenance — a job for
-    /// the background merger, or an inline rebuild in foreground mode.
-    /// In background mode the write blocks only when the shard's delta
-    /// has hit the hard `max_delta` bound.
-    fn write(&self, key: u64, val: Option<u64>) -> Option<u64> {
+    /// Apply one dispatched **write run** — the group-commit unit.
+    /// `ops[i]` is an upsert (`Some`) or remove (`None`); `prevs` is
+    /// cleared and receives, per op, the value visible immediately
+    /// before it (last-write-wins *within* the run, so a duplicate key
+    /// sees its predecessor's value).
+    ///
+    /// Ops are grouped by owning shard (ops to different shards
+    /// commute; per-shard admission order is preserved). Each shard's
+    /// sub-run holds the write lock once, clones the delta once,
+    /// appends **one** WAL record fsynced **once**
+    /// ([`FsyncMode::Group`]; [`FsyncMode::On`] degrades to a record
+    /// and fsync per op) and publishes **one** new version — when this
+    /// returns, every op in the run is durable and visible, so callers
+    /// may acknowledge the whole run.
+    pub fn apply_write_run(&self, ops: &[(u64, Option<u64>)], prevs: &mut Vec<Option<u64>>) {
+        prevs.clear();
+        prevs.resize(ops.len(), None);
+        match ops.len() {
+            0 => return,
+            1 => {
+                self.write_shard_run(self.shard_of(ops[0].0), ops, &[0], prevs);
+                return;
+            }
+            _ => {}
+        }
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.num_shards()];
+        for (i, &(key, _)) in ops.iter().enumerate() {
+            by_shard[self.shard_of(key)].push(i);
+        }
+        for (si, idxs) in by_shard.iter().enumerate() {
+            if !idxs.is_empty() {
+                self.write_shard_run(si, ops, idxs, prevs);
+            }
+        }
+    }
+
+    /// The shared write path: apply `ops[idxs]` (all routed to `si`)
+    /// to the shard's delta and publish one new version. At
+    /// `merge_threshold` the run requests maintenance — a job for the
+    /// background merger, or an inline rebuild in foreground mode. In
+    /// background mode the run blocks only when the shard's delta has
+    /// hit the hard `max_delta` bound. With durability on, the run's
+    /// WAL record is appended and fsynced *before* the publish.
+    fn write_shard_run(
+        &self,
+        si: usize,
+        ops: &[(u64, Option<u64>)],
+        idxs: &[usize],
+        prevs: &mut [Option<u64>],
+    ) {
         let inner = &*self.inner;
-        let si = self.shard_of(key);
         let shard = &inner.shards[si];
         let mut w = shard.write.plock("shard write state");
         if inner.cfg.merge_mode == MergeMode::Background {
             // Hard bound: past max_delta this shard's writers wait for
             // the merger (which never needs this lock to make
             // progress... it does take it to publish, but we release
-            // it while waiting on the condvar).
+            // it while waiting on the condvar). A run may overshoot
+            // the bound by its own length — bounded by the dispatcher
+            // batch size.
             while shard.version.load().delta.len() >= inner.cfg.max_delta {
                 w = shard
                     .delta_space
@@ -545,17 +846,46 @@ impl ShardedStore {
             }
         }
         let cur = shard.version.load();
-        let prev = match cur.delta.get(key) {
-            Some(over) => over,
-            None => cur.main.get(key),
-        };
-        // Removing a key that is nowhere needs no tombstone (and must
-        // not grow the delta, or idempotent removes would force
-        // merges).
-        if val.is_none() && prev.is_none() && cur.delta.get(key).is_none() {
-            return None;
+        let mut delta = cur.delta.clone();
+        let mut effective: Vec<(u64, Option<u64>)> = Vec::with_capacity(idxs.len());
+        let mut live_delta = 0isize;
+        for &i in idxs {
+            let (key, val) = ops[i];
+            let prev = match delta.get(key) {
+                Some(over) => over,
+                None => cur.main.get(key),
+            };
+            prevs[i] = prev;
+            // Removing a key that is nowhere needs no tombstone (and
+            // must not grow the delta, or idempotent removes would
+            // force merges) — and nothing to make durable either.
+            if val.is_none() && prev.is_none() && delta.get(key).is_none() {
+                continue;
+            }
+            delta.upsert(key, val);
+            effective.push((key, val));
+            match (prev.is_some(), val.is_some()) {
+                (false, true) => live_delta += 1,
+                (true, false) => live_delta -= 1,
+                _ => {}
+            }
         }
-        let delta = cur.delta.with_upsert(key, val);
+        if effective.is_empty() {
+            return; // fully elided: no record, no epoch bump
+        }
+        // Ack ⇒ durable: the WAL record hits disk before the publish,
+        // and the publish happens before any caller acknowledges.
+        if let Some(d) = &inner.durable {
+            if d.fsync == FsyncMode::On {
+                for op in &effective {
+                    w.wal_seq += 1;
+                    d.log_run(si, w.wal_seq, std::slice::from_ref(op));
+                }
+            } else {
+                w.wal_seq += 1;
+                d.log_run(si, w.wal_seq, &effective);
+            }
+        }
         let crossed = delta.len() >= inner.cfg.merge_threshold;
         match inner.cfg.merge_mode {
             MergeMode::Background => {
@@ -574,9 +904,15 @@ impl ShardedStore {
                 // Inline merge: rebuild this shard's main from
                 // main+delta and publish (new main, empty delta) in
                 // one epoch swap. The shard write lock is held
-                // throughout, so only same-shard *writers* wait.
+                // throughout, so only same-shard *writers* wait. The
+                // snapshot covers every record up to wal_seq, so the
+                // WAL truncates to empty.
                 let t0 = Instant::now();
                 let merged = merge_pairs(&cur.main.pairs(), &delta.entries);
+                if let Some(d) = &inner.durable {
+                    let tmp = d.stage_snapshot(si, w.wal_seq, &merged);
+                    d.commit_and_truncate(si, w.wal_seq, &tmp, w.wal_seq, &[]);
+                }
                 shard.version.store(Arc::new(ShardVersion {
                     main: cur.main.rebuild(&merged),
                     delta: Delta::default(),
@@ -592,16 +928,17 @@ impl ShardedStore {
                 }));
             }
         }
-        match (prev.is_some(), val.is_some()) {
-            (false, true) => {
-                inner.live.fetch_add(1, Ordering::Relaxed);
+        match live_delta.cmp(&0) {
+            std::cmp::Ordering::Greater => {
+                inner.live.fetch_add(live_delta as usize, Ordering::Relaxed);
             }
-            (true, false) => {
-                inner.live.fetch_sub(1, Ordering::Relaxed);
+            std::cmp::Ordering::Less => {
+                inner
+                    .live
+                    .fetch_sub(live_delta.unsigned_abs(), Ordering::Relaxed);
             }
-            _ => {}
+            std::cmp::Ordering::Equal => {}
         }
-        prev
     }
 
     /// Run a batch of lookups that all route to `shard`, scattering
@@ -725,6 +1062,15 @@ impl Drop for ShardedStore {
             }
             handle.join().expect("merger thread panicked");
         }
+        // Clean-shutdown durability: flush every WAL so even
+        // FsyncMode::Off loses nothing on an orderly exit (only on a
+        // crash). Best effort — Drop must not panic.
+        if let Some(d) = &self.inner.durable {
+            for si in 0..self.inner.shards.len() {
+                let _ = d.fs.sync(&durable::wal_name(si));
+            }
+            let _ = d.fs.sync_dir();
+        }
     }
 }
 
@@ -755,13 +1101,24 @@ impl StoreInner {
 
     /// Merge one shard: rebuild its main from a snapshot, then publish
     /// `(new main, residual delta)` — the writes that landed during
-    /// the rebuild survive as the residual.
+    /// the rebuild survive as the residual. With durability on, the
+    /// merged pairs become the shard's on-disk snapshot and the WAL is
+    /// truncated down to the residual.
     fn merge_shard(&self, si: usize) {
         let shard = &self.shards[si];
         let t0 = Instant::now();
         // Snapshot outside the write lock: the rebuild is the long
         // part, and writers must keep landing in the delta meanwhile.
-        let v0 = shard.version.load();
+        // The brief lock pins (version, wal_seq) to a consistent cut —
+        // every record with seq ≤ seq0 is reflected in v0 (records
+        // append and publish in order under this lock), so a snapshot
+        // of v0 stamped seq0 over-covers nothing. Replay may *re*-apply
+        // a record that raced in between the two loads; replay upserts
+        // are absolute, so over-replay is idempotent.
+        let (v0, seq0) = {
+            let w = shard.write.plock("shard write state");
+            (shard.version.load(), w.wal_seq)
+        };
         if v0.delta.is_empty() {
             let mut w = shard.write.plock("shard write state");
             w.pending = false;
@@ -770,6 +1127,12 @@ impl StoreInner {
         }
         let merged = merge_pairs(&v0.main.pairs(), &v0.delta.entries);
         let main = v0.main.rebuild(&merged);
+        // The bulky snapshot serialization also runs outside the write
+        // lock; only the single merger thread touches the temp file.
+        let staged = self
+            .durable
+            .as_ref()
+            .map(|d| d.stage_snapshot(si, seq0, &merged));
         let mut w = shard.write.plock("shard write state");
         let cur = shard.version.load();
         // An entry of the current delta is already reflected in the
@@ -785,6 +1148,12 @@ impl StoreInner {
             .copied()
             .filter(|&(k, val)| v0.delta.get(k) != Some(val))
             .collect();
+        if let (Some(d), Some(tmp)) = (&self.durable, &staged) {
+            // Snapshot first, truncate second — and the WAL rewrite
+            // holds the residual at the *current* frontier, so a
+            // crash+recover replays exactly it on top of the snapshot.
+            d.commit_and_truncate(si, seq0, tmp, w.wal_seq, &residual);
+        }
         let rekick = residual.len() >= self.cfg.merge_threshold;
         shard.version.store(Arc::new(ShardVersion {
             main,
@@ -1048,7 +1417,7 @@ mod tests {
             StoreConfig {
                 merge_threshold: 8,
                 max_delta: 4,
-                merge_mode: MergeMode::Background,
+                ..StoreConfig::default()
             },
         );
     }
@@ -1287,7 +1656,7 @@ mod tests {
             StoreConfig {
                 merge_threshold: 2,
                 max_delta: 4,
-                merge_mode: MergeMode::Background,
+                ..StoreConfig::default()
             },
         );
         std::thread::scope(|scope| {

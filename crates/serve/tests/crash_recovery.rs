@@ -1,0 +1,516 @@
+//! Kill-and-revive crash-recovery tests: the durable store is run on
+//! a fault-injecting in-memory file system ([`FaultFs`]) that captures
+//! the crash image — what a power cut would leave on disk — at an
+//! arbitrary point in the WAL/snapshot protocol, optionally tearing
+//! unsynced tails at arbitrary byte offsets, flipping a bit in the
+//! torn region, or dropping fsyncs entirely (a lying disk).
+//!
+//! The invariant checked after every crash is the **per-shard atomic
+//! prefix property**. Writes reach a shard as *runs* (one WAL record
+//! each, atomic by CRC), appended in order, so whatever survives a
+//! crash must be the state after some *prefix* of the ops routed to
+//! that shard — never a half-applied record, never a reordering — and
+//! when fsyncs are honored, at least the prefix covering every run
+//! that was **acknowledged** before the crash (ack ⇒ durable). With
+//! `FsyncMode::Off` or dropped fsyncs the guaranteed prefix shrinks
+//! to zero, but it must still be *a* prefix.
+//!
+//! Three angles:
+//!
+//! * a deterministic **fault matrix** — one fixed schedule, killed at
+//!   *every* file-system operation index × tear/bit-flip variants;
+//! * a **proptest** over random schedules, kill points, fsync modes
+//!   and fault plans;
+//! * a **real-directory round trip** (DiskFs) covering clean shutdown
+//!   and recovery-then-serve through a live `LookupService`.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use isi_durable::{FaultFs, FaultPlan, Fs, FsyncMode, MemFs};
+use isi_serve::{
+    Backend, BatchPolicy, LookupService, MergeMode, ServeConfig, ShardedStore, StoreConfig,
+};
+
+const SHARDS: usize = 2;
+
+/// A schedule is a list of write runs; each run is applied with one
+/// `apply_write_run` call (the group-commit unit).
+type Schedule = Vec<Vec<(u64, Option<u64>)>>;
+
+fn store_cfg(fsync: FsyncMode, mode: MergeMode) -> StoreConfig {
+    StoreConfig {
+        merge_threshold: 4,
+        max_delta: 16,
+        merge_mode: mode,
+        wal_dir: None,
+        fsync,
+    }
+}
+
+/// Run `schedule` against a fresh durable store on `fault`, returning
+/// how many runs were acknowledged (returned) strictly before the
+/// kill point was reached. The store is dropped un-cleanly ignored —
+/// the crash image was already captured.
+fn run_until_crash(
+    fault: &Arc<FaultFs>,
+    seed: &[(u64, u64)],
+    cfg: StoreConfig,
+    schedule: &Schedule,
+) -> usize {
+    let fs: Arc<dyn Fs> = Arc::clone(fault) as Arc<dyn Fs>;
+    let store = ShardedStore::build_with_fs(Backend::Sorted, SHARDS, seed, cfg, fs);
+    let mut prevs = Vec::new();
+    let mut acked = 0usize;
+    for run in schedule {
+        store.apply_write_run(run, &mut prevs);
+        if !fault.killed() {
+            acked += 1;
+        }
+    }
+    store.quiesce();
+    acked
+}
+
+/// The visible map after applying the first `j` ops of `ops`.
+fn oracle_states(seed: &HashMap<u64, u64>, ops: &[(u64, Option<u64>)]) -> Vec<Vec<(u64, u64)>> {
+    let mut state = seed.clone();
+    let mut out = Vec::with_capacity(ops.len() + 1);
+    let snap = |s: &HashMap<u64, u64>| {
+        let mut v: Vec<(u64, u64)> = s.iter().map(|(&k, &v)| (k, v)).collect();
+        v.sort_unstable();
+        v
+    };
+    out.push(snap(&state));
+    for &(k, val) in ops {
+        match val {
+            Some(v) => {
+                state.insert(k, v);
+            }
+            None => {
+                state.remove(&k);
+            }
+        }
+        out.push(snap(&state));
+    }
+    out
+}
+
+/// Check the per-shard atomic prefix property of `recovered` against
+/// the schedule, given how many runs were acked before the crash and
+/// whether acked runs were really made durable (`fsync_honored`).
+/// Returns an error description instead of panicking so proptest can
+/// report the failing case.
+fn check_prefix_property(
+    recovered: &ShardedStore,
+    seed: &[(u64, u64)],
+    schedule: &Schedule,
+    acked_runs: usize,
+    fsync_honored: bool,
+) -> Result<(), String> {
+    assert_eq!(recovered.num_shards(), SHARDS);
+    for shard in 0..SHARDS {
+        // Ops and seed pairs routed to this shard, in schedule order,
+        // tagged with the index of the run each op belongs to.
+        let seed_s: HashMap<u64, u64> = seed
+            .iter()
+            .copied()
+            .filter(|&(k, _)| recovered.shard_of(k) == shard)
+            .collect();
+        let mut ops_s: Vec<(u64, Option<u64>)> = Vec::new();
+        let mut run_of_op: Vec<usize> = Vec::new();
+        for (r, run) in schedule.iter().enumerate() {
+            for &(k, val) in run {
+                if recovered.shard_of(k) == shard {
+                    ops_s.push((k, val));
+                    run_of_op.push(r);
+                }
+            }
+        }
+        let states = oracle_states(&seed_s, &ops_s);
+        // Guaranteed durable: every op of every acked run (ack ⇒
+        // durable) — unless fsyncs were off or dropped, where only
+        // the empty prefix is promised.
+        let j_min = if fsync_honored {
+            run_of_op.iter().filter(|&&r| r < acked_runs).count()
+        } else {
+            0
+        };
+        let got = recovered.scan_range(shard, 0, u64::MAX);
+        let ok = (j_min..states.len()).any(|j| states[j] == got);
+        if !ok {
+            return Err(format!(
+                "shard {shard}: recovered state is not an op prefix ≥ {j_min}: got {:?}, \
+                 nearest candidates {:?} .. {:?}",
+                got,
+                states[j_min],
+                states.last().unwrap(),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Recover from a crash image, check the prefix property, and verify
+/// the revived store accepts new writes. Recovery failure is only
+/// acceptable when the crash predates the store's init completing
+/// (nothing was ever acked).
+fn recover_and_check(
+    image: MemFs,
+    seed: &[(u64, u64)],
+    cfg: StoreConfig,
+    schedule: &Schedule,
+    acked_runs: usize,
+    fsync_honored: bool,
+) -> Result<(), String> {
+    let image = Arc::new(image);
+    let fs: Arc<dyn Fs> = Arc::clone(&image) as Arc<dyn Fs>;
+    let recovered = match ShardedStore::recover_with_fs(Backend::Sorted, cfg.clone(), fs) {
+        Ok(store) => store,
+        Err(e) if acked_runs == 0 || !fsync_honored => {
+            // Killed before init's directory sync (or on a lying disk
+            // that dropped it): no meta, no store — and in either case
+            // nothing durable was promised. A clean failure is correct.
+            let _ = e;
+            return Ok(());
+        }
+        Err(e) => {
+            return Err(format!(
+                "recovery failed after {acked_runs} acked runs: {e}"
+            ))
+        }
+    };
+    check_prefix_property(&recovered, seed, schedule, acked_runs, fsync_honored)?;
+    // Repair must be stable: recovering the repaired image again
+    // reproduces the same state (recover_shard truncated torn tails
+    // and deleted stale snapshots in place).
+    drop(recovered);
+    let fs2: Arc<dyn Fs> = Arc::clone(&image) as Arc<dyn Fs>;
+    let again = ShardedStore::recover_with_fs(Backend::Sorted, cfg, fs2)
+        .map_err(|e| format!("second recovery failed: {e}"))?;
+    check_prefix_property(&again, seed, schedule, acked_runs, fsync_honored)?;
+    // The revived store keeps working: a fresh write round-trips.
+    again.put(999_983, 42);
+    if again.get(999_983) != Some(42) {
+        return Err("revived store dropped a fresh write".into());
+    }
+    Ok(())
+}
+
+/// One end-to-end crash case: run `schedule` with `plan` armed, crash
+/// (at the kill point, or at end-of-run power loss if the kill point
+/// was never reached), recover, check.
+fn crash_case(
+    seed: &[(u64, u64)],
+    fsync: FsyncMode,
+    mode: MergeMode,
+    schedule: &Schedule,
+    plan: FaultPlan,
+) -> Result<(), String> {
+    let fault = Arc::new(FaultFs::new(plan));
+    let cfg = store_cfg(fsync, mode);
+    let acked = run_until_crash(&fault, seed, cfg.clone(), schedule);
+    let (image, acked) = match fault.take_crash_image() {
+        Some(image) => (image, acked),
+        // Kill point past the schedule: pull the plug after the final
+        // run instead. Every run was acked by then.
+        None => (fault.crash_now(), schedule.len()),
+    };
+    let fsync_honored = fsync != FsyncMode::Off && !plan.drop_syncs;
+    recover_and_check(image, seed, cfg, schedule, acked, fsync_honored)
+}
+
+fn fixed_seed() -> Vec<(u64, u64)> {
+    (0..40u64).map(|i| (i * 7, i + 100)).collect()
+}
+
+/// A fixed mixed schedule: overwrites, fresh keys, removes (present,
+/// absent and repeated), single-op runs and multi-op runs — enough to
+/// cross the merge threshold several times on both shards.
+fn fixed_schedule() -> Schedule {
+    let mut runs: Schedule = Vec::new();
+    for r in 0..12u64 {
+        let mut run = Vec::new();
+        for i in 0..(1 + (r % 4)) {
+            let k = (r * 31 + i * 13) % 300;
+            match (r + i) % 5 {
+                0 => run.push((k, None)),
+                _ => run.push((k, Some(1000 * r + i))),
+            }
+        }
+        runs.push(run);
+    }
+    runs.push(vec![(7, None), (7, None), (7, Some(5)), (7, None)]);
+    runs
+}
+
+/// Count the file-system operations the fixed schedule performs, so
+/// the matrix can kill at every single one.
+fn fixed_schedule_ops(fsync: FsyncMode, mode: MergeMode) -> u64 {
+    let fault = Arc::new(FaultFs::new(FaultPlan::default()));
+    let seed = fixed_seed();
+    run_until_crash(&fault, &seed, store_cfg(fsync, mode), &fixed_schedule());
+    fault.ops_done()
+}
+
+/// Deterministic fault matrix: the fixed schedule killed at **every**
+/// fs-operation index, for the interesting tear variants. Covers each
+/// protocol point — mid-append, between append and fsync, between
+/// snapshot rename and WAL rewrite, mid-init — without sampling.
+#[test]
+fn kill_at_every_protocol_point_foreground() {
+    let seed = fixed_seed();
+    let schedule = fixed_schedule();
+    let total = fixed_schedule_ops(FsyncMode::Group, MergeMode::Foreground);
+    assert!(total > 50, "schedule too small to be interesting: {total}");
+    for kill in 0..total {
+        for (tear, flip) in [(0u8, false), (4, false), (4, true), (8, false)] {
+            let plan = FaultPlan {
+                kill_at_op: Some(kill),
+                drop_syncs: false,
+                tear_keep_eighths: tear,
+                flip_torn_bit: flip,
+            };
+            crash_case(
+                &seed,
+                FsyncMode::Group,
+                MergeMode::Foreground,
+                &schedule,
+                plan,
+            )
+            .unwrap_or_else(|e| panic!("kill@{kill} tear={tear} flip={flip}: {e}"));
+        }
+    }
+}
+
+/// The same matrix with per-op fsyncs (`FsyncMode::On`) — different
+/// op counts, different kill alignments, every acked op durable.
+#[test]
+fn kill_at_every_protocol_point_fsync_per_op() {
+    let seed = fixed_seed();
+    let schedule = fixed_schedule();
+    let total = fixed_schedule_ops(FsyncMode::On, MergeMode::Foreground);
+    for kill in (0..total).step_by(3) {
+        let plan = FaultPlan {
+            kill_at_op: Some(kill),
+            drop_syncs: false,
+            tear_keep_eighths: 2,
+            flip_torn_bit: true,
+        };
+        crash_case(&seed, FsyncMode::On, MergeMode::Foreground, &schedule, plan)
+            .unwrap_or_else(|e| panic!("kill@{kill}: {e}"));
+    }
+}
+
+/// A lying disk (dropped fsyncs) still recovers to *a* prefix — acked
+/// writes may be lost, but nothing is ever half-applied.
+#[test]
+fn dropped_fsyncs_still_recover_a_consistent_prefix() {
+    let seed = fixed_seed();
+    let schedule = fixed_schedule();
+    let total = fixed_schedule_ops(FsyncMode::Group, MergeMode::Foreground);
+    for kill in (0..total).step_by(5) {
+        let plan = FaultPlan {
+            kill_at_op: Some(kill),
+            drop_syncs: true,
+            tear_keep_eighths: 3,
+            flip_torn_bit: true,
+        };
+        crash_case(
+            &seed,
+            FsyncMode::Group,
+            MergeMode::Foreground,
+            &schedule,
+            plan,
+        )
+        .unwrap_or_else(|e| panic!("kill@{kill}: {e}"));
+    }
+}
+
+/// Background-merge mode: the merger thread's snapshot/truncate ops
+/// interleave with write-path appends, so kill points land inside the
+/// concurrent protocol too. (Kill indices are sampled; exact op
+/// counts vary run to run with merge timing.)
+#[test]
+fn kill_points_with_background_merges() {
+    let seed = fixed_seed();
+    let schedule = fixed_schedule();
+    for kill in (0..120u64).step_by(7) {
+        let plan = FaultPlan {
+            kill_at_op: Some(kill),
+            drop_syncs: false,
+            tear_keep_eighths: 4,
+            flip_torn_bit: false,
+        };
+        crash_case(
+            &seed,
+            FsyncMode::Group,
+            MergeMode::Background,
+            &schedule,
+            plan,
+        )
+        .unwrap_or_else(|e| panic!("kill@{kill}: {e}"));
+    }
+}
+
+fn schedule_strategy() -> impl Strategy<Value = Schedule> {
+    proptest::collection::vec(
+        proptest::collection::vec(
+            (
+                (0u64..200),
+                prop_oneof![Just(None), (0u64..10_000).prop_map(Some)],
+            ),
+            1..6,
+        ),
+        1..20,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(if cfg!(miri) { 2 } else { 48 }))]
+
+    /// Random schedules × random kill points × random fault plans ×
+    /// all fsync modes: every acked write survives (when fsyncs are
+    /// honored) and no crash image ever recovers to a non-prefix.
+    #[test]
+    fn kill_and_revive_matches_an_oracle_prefix(
+        schedule in schedule_strategy(),
+        kill in 0u64..400,
+        tear in 0u8..=8,
+        flip in prop_oneof![Just(false), Just(true)],
+        drop_syncs in prop_oneof![Just(false), Just(true)],
+        mode_fg in prop_oneof![Just(false), Just(true)],
+        fsync_pick in 0u8..3,
+    ) {
+        let seed = fixed_seed();
+        let fsync = FsyncMode::ALL[fsync_pick as usize];
+        let mode = if mode_fg { MergeMode::Foreground } else { MergeMode::Background };
+        let plan = FaultPlan {
+            kill_at_op: Some(kill),
+            drop_syncs,
+            tear_keep_eighths: tear,
+            flip_torn_bit: flip,
+        };
+        if let Err(e) = crash_case(&seed, fsync, mode, &schedule, plan) {
+            prop_assert!(false, "{e}");
+        }
+    }
+}
+
+/// Real-directory round trip: build durable on a DiskFs, write
+/// through a live service, shut down cleanly, recover, and serve
+/// again — values intact, including under `FsyncMode::Off` (clean
+/// shutdown flushes the WAL on drop).
+#[test]
+fn disk_roundtrip_through_the_service() {
+    for fsync in FsyncMode::ALL {
+        let dir = std::env::temp_dir().join(format!(
+            "isi-crash-recovery-{}-{}",
+            std::process::id(),
+            fsync.name()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = StoreConfig {
+            merge_threshold: 8,
+            max_delta: 32,
+            ..StoreConfig::default()
+        }
+        .durable(&dir, fsync);
+        let seed: Vec<(u64, u64)> = (0..100u64).map(|i| (i * 3, i)).collect();
+        let serve_cfg = ServeConfig {
+            batch: BatchPolicy {
+                max_batch: 8,
+                max_wait: Duration::from_micros(100),
+            },
+            ..ServeConfig::default()
+        };
+        {
+            let store = ShardedStore::build_with(Backend::Csb, SHARDS, &seed, cfg.clone());
+            assert!(store.is_durable());
+            let svc = LookupService::start(store, serve_cfg);
+            for i in 0..50u64 {
+                svc.put(1000 + i, i);
+            }
+            svc.remove(0);
+            svc.put(3, 777);
+            let (records, syncs) = svc.store().wal_stats();
+            assert!(records > 0, "writes must hit the WAL");
+            match fsync {
+                FsyncMode::Off => assert_eq!(syncs, 0),
+                _ => assert!(syncs > 0),
+            }
+            // svc (and with it the store) drops here: clean shutdown.
+        }
+        let recovered = ShardedStore::recover(Backend::Csb, cfg).expect("recover from disk");
+        assert_eq!(recovered.get(0), None);
+        assert_eq!(recovered.get(3), Some(777));
+        for i in 0..50u64 {
+            assert_eq!(recovered.get(1000 + i), Some(i), "fsync={}", fsync.name());
+        }
+        // 100 seeded + 50 fresh puts − removed key 0 (the put of 3
+        // overwrites a seeded key).
+        assert_eq!(recovered.len(), 100 + 50 - 1);
+        // And the revived store serves.
+        let svc = LookupService::start(recovered, serve_cfg);
+        assert_eq!(svc.get(1000), Some(0));
+        svc.put(5000, 1);
+        assert_eq!(svc.get(5000), Some(1));
+        drop(svc);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Durable group commit through the service: a burst of writes from
+/// concurrent clients lands in far fewer fsyncs than records under
+/// `FsyncMode::Group` (that is the point), while `FsyncMode::On`
+/// pays one per record.
+#[test]
+fn group_commit_amortizes_fsyncs_through_the_service() {
+    for (fsync, expect_amortized) in [(FsyncMode::Group, true), (FsyncMode::On, false)] {
+        let fs: Arc<dyn Fs> = Arc::new(MemFs::new());
+        let store = ShardedStore::build_with_fs(
+            Backend::Sorted,
+            1,
+            &[],
+            store_cfg(fsync, MergeMode::Background),
+            fs,
+        );
+        let svc = LookupService::start(
+            store,
+            ServeConfig {
+                batch: BatchPolicy {
+                    max_batch: 64,
+                    max_wait: Duration::from_millis(2),
+                },
+                ..ServeConfig::default()
+            },
+        );
+        std::thread::scope(|scope| {
+            for c in 0..4u64 {
+                let svc = &svc;
+                scope.spawn(move || {
+                    for i in 0..64u64 {
+                        svc.put(c * 1000 + i, i);
+                    }
+                });
+            }
+        });
+        let (records, syncs) = svc.store().wal_stats();
+        if expect_amortized {
+            // Group commit: concurrent writers coalesce into shared
+            // records; at minimum the accounting holds, and with 4
+            // concurrent clients batching must beat one-sync-per-op.
+            assert!(syncs <= records);
+            assert!(
+                records < 256,
+                "4×64 puts should coalesce into fewer records, got {records}"
+            );
+        } else {
+            assert_eq!(records, 256, "FsyncMode::On is one record per op");
+            assert_eq!(syncs, 256, "FsyncMode::On is one fsync per record");
+        }
+    }
+}

@@ -20,11 +20,11 @@
 //!   `crates/bench/src/schema.rs`; everything else must import the
 //!   registry constant. Scattered literals are how two writers drift
 //!   one version apart.
-//! * **R4 — poison-aware locks in serve.** `crates/serve` must
-//!   acquire locks through the `isi_core::sync` helpers
-//!   (`plock`/`pread`/`pwrite`/`pwait`), never bare
-//!   `.lock().unwrap()` — the helpers turn a poisoned lock into a
-//!   tagged panic that names the protocol instead of an opaque
+//! * **R4 — poison-aware locks in serve and durable.** `crates/serve`
+//!   and `crates/durable` must acquire locks through the
+//!   `isi_core::sync` helpers (`plock`/`pread`/`pwrite`/`pwait`),
+//!   never bare `.lock().unwrap()` — the helpers turn a poisoned lock
+//!   into a tagged panic that names the protocol instead of an opaque
 //!   `PoisonError`.
 //!
 //! Rules operate on an in-memory `(path, content)` list so the unit
@@ -422,9 +422,9 @@ fn check_schema_registry(path: &str, content: &str, out: &mut Vec<Violation>) {
     }
 }
 
-// ---- R4: poison-aware locks in serve ----
+// ---- R4: poison-aware locks in serve and durable ----
 
-/// Bare-unwrap lock patterns forbidden in `crates/serve` (the
+/// Bare-unwrap lock patterns forbidden in the crates under R4 (the
 /// poison-swallowing `.lock().unwrap()` family).
 const BARE_LOCK_PATTERNS: &[&str] = &[".lock().unwrap()", ".read().unwrap()", ".write().unwrap()"];
 
@@ -433,7 +433,7 @@ const BARE_LOCK_PATTERNS: &[&str] = &[".lock().unwrap()", ".read().unwrap()", ".
 const BARE_WAIT_HEADS: &[&str] = &[".lock()", ".read()", ".write()", ".wait(", ".wait_timeout("];
 
 fn check_serve_locks(path: &str, content: &str, out: &mut Vec<Violation>) {
-    if !path.starts_with("crates/serve/") {
+    if !path.starts_with("crates/serve/") && !path.starts_with("crates/durable/") {
         return;
     }
     let code = sanitize(content, true);
@@ -453,10 +453,11 @@ fn check_serve_locks(path: &str, content: &str, out: &mut Vec<Violation>) {
                 path: path.to_string(),
                 line: idx + 1,
                 rule: "serve-poison-policy",
-                msg: "bare lock/wait unwrap in crates/serve; use the isi_core::sync \
+                msg:
+                    "bare lock/wait unwrap in an R4 crate (serve/durable); use the isi_core::sync \
                       helpers (plock/pread/pwrite/pwait/pwait_timeout) so a poisoned \
                       lock panics with a protocol tag"
-                    .to_string(),
+                        .to_string(),
             });
         }
     }
@@ -619,6 +620,20 @@ mod tests {
         let fs = files(&[(
             "crates/serve/src/service.rs",
             "fn f() {\n    let g = cv\n        .wait(guard)\n        .unwrap();\n}\n",
+        )]);
+        let v = check_files(&fs);
+        assert!(
+            rules_fired(&v).contains(&"serve-poison-policy"),
+            "{:?}",
+            rules_fired(&v)
+        );
+    }
+
+    #[test]
+    fn bare_lock_unwrap_in_durable_fires() {
+        let fs = files(&[(
+            "crates/durable/src/fault.rs",
+            "fn f(m: &std::sync::Mutex<u32>) -> u32 { *m.lock().unwrap() }\n",
         )]);
         let v = check_files(&fs);
         assert!(
