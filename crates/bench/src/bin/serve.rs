@@ -9,7 +9,7 @@
 //! `--mixed` instead sweeps {backend} × {shard count} × {write
 //! fraction} over the **writable** store — closed-loop clients whose
 //! op streams mix `get`/`put`/`remove`/`get_range` — and writes
-//! `BENCH_serve_mixed.json` (schema `isi-serve-mixed/v3`), including
+//! `BENCH_serve_mixed.json` (schema `isi-serve-mixed/v4`), including
 //! merge counts (background vs foreground), merge latency, plan-stage
 //! delta hits / residual fraction, range-scan counts, hot-key-cache
 //! hits and — with `--wal on` — WAL record/fsync counts plus the
@@ -32,7 +32,11 @@
 //! (background merger vs inline write-path merges, mixed sweep),
 //! `--wal on|off` (per-shard write-ahead log with group-commit fsyncs
 //! and snapshot-at-merge; each cell times a full crash recovery at
-//! teardown, mixed sweep).
+//! teardown, mixed sweep), `--obs` (capture the observability layer:
+//! per-shard per-stage latency rows in the document plus a
+//! chrome://tracing export of the last cell, mixed sweep) and
+//! `--trace-out PATH` (where `--obs` writes that export; default
+//! `BENCH_serve_trace.json`).
 
 use isi_bench::serve::{
     run_mixed_sweep, run_sweep, to_json, to_mixed_json, verify, verify_any_text, verify_mixed,
@@ -90,6 +94,7 @@ fn main() {
         "BENCH_serve.json".to_string()
     };
     let mut verify_path: Option<String> = None;
+    let mut trace_out = "BENCH_serve_trace.json".to_string();
     // Mode-specific flags seen, so a flag that only applies to the
     // *other* sweep fails loudly instead of silently steering nothing.
     let mut mixed_only_flags: Vec<&'static str> = Vec::new();
@@ -157,6 +162,14 @@ fn main() {
                     other => fail(&format!("bad --wal {other:?} (need on|off)")),
                 };
             }
+            "--obs" => {
+                mixed_only_flags.push("--obs");
+                mixed_cfg.obs = true;
+            }
+            "--trace-out" => {
+                mixed_only_flags.push("--trace-out");
+                trace_out = value("--trace-out");
+            }
             "--rate" => {
                 readonly_only_flags.push("--rate");
                 cfg.open_rate_rps = value("--rate")
@@ -213,7 +226,7 @@ fn main() {
 
     let doc = if mixed {
         println!(
-            "# mixed serve sweep: backends={:?} shards={:?} write-fractions={:?} range-fraction={} keys={} clients={} reqs/client={} threshold={} cache={} bg-merge={} wal={}",
+            "# mixed serve sweep: backends={:?} shards={:?} write-fractions={:?} range-fraction={} keys={} clients={} reqs/client={} threshold={} cache={} bg-merge={} wal={} obs={}",
             mixed_cfg.backends.iter().map(|b| b.name()).collect::<Vec<_>>(),
             mixed_cfg.shard_counts,
             mixed_cfg.write_fractions,
@@ -225,6 +238,7 @@ fn main() {
             mixed_cfg.hot_cache_slots,
             mixed_cfg.bg_merge,
             mixed_cfg.wal,
+            mixed_cfg.obs,
         );
         let cells = run_mixed_sweep(&mixed_cfg, |c| {
             println!(
@@ -246,6 +260,17 @@ fn main() {
         let doc = to_mixed_json(&mixed_cfg, &cells);
         verify_mixed(&doc)
             .unwrap_or_else(|e| fail(&format!("produced document failed self-check: {e}")));
+        if mixed_cfg.obs {
+            // The document carries every cell's stage rows; the chrome
+            // trace (one timeline per run) is the last cell's.
+            let trace = &cells.last().expect("verified sweep has cells").trace_json;
+            if !trace.contains("\"traceEvents\"") {
+                fail("obs run produced an empty chrome trace");
+            }
+            std::fs::write(&trace_out, trace)
+                .unwrap_or_else(|e| fail(&format!("write {trace_out}: {e}")));
+            println!("wrote {trace_out}");
+        }
         doc
     } else {
         println!(

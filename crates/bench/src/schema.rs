@@ -21,8 +21,11 @@ pub const SERVE: &str = "isi-serve/v1";
 
 /// `BENCH_serve_mixed.json` — mixed read/write sweep (v2 added the
 /// per-policy merge/cache columns; v3 added the durability columns:
-/// WAL mode, fsync mode, record/sync counts, recovery time).
-pub const SERVE_MIXED: &str = "isi-serve-mixed/v3";
+/// WAL mode, fsync mode, record/sync counts, recovery time; v4 added
+/// the observability columns: `config.obs`, per-cell end-to-end
+/// latency sums, per-shard per-stage latency rows and the
+/// chrome-trace event count).
+pub const SERVE_MIXED: &str = "isi-serve-mixed/v4";
 
 #[cfg(test)]
 mod tests {

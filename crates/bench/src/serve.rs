@@ -20,7 +20,7 @@
 //! not just engine time.
 //!
 //! A second, **mixed read/write** sweep (`--mixed`, schema
-//! `isi-serve-mixed/v3`) drives closed-loop clients whose operation
+//! `isi-serve-mixed/v4`) drives closed-loop clients whose operation
 //! streams contain a configurable write fraction (puts + removes) and
 //! range-scan fraction (`get_range` over a fixed key span) against a
 //! writable store, with merges on the background merger thread by
@@ -28,13 +28,19 @@
 //! record merge counts and latency, background-merge counts, residual
 //! delta size, plan-stage delta hits and residual fraction, and
 //! hot-key-cache hits alongside the usual throughput/latency columns.
+//! With the observability layer on (`--obs`) each cell additionally
+//! captures the service's per-shard per-stage latency breakdown
+//! ([`LookupService::stage_breakdown`]), the end-to-end latency sum
+//! (so the verifier can cross-check that request-path stage time never
+//! exceeds it) and a chrome://tracing export of the cell's event
+//! rings.
 
 use std::time::{Duration, Instant};
 
 use isi_core::par::ParConfig;
 use isi_core::policy::Interleave;
 use isi_serve::{
-    Backend, BatchPolicy, FsyncMode, LookupService, ServeConfig, ShardedStore, StoreConfig,
+    Backend, BatchPolicy, FsyncMode, LookupService, ServeConfig, ShardedStore, Stage, StoreConfig,
 };
 use isi_workloads::uniform_indices;
 
@@ -209,6 +215,7 @@ pub fn measure_cell(
             queue_cap: cfg.queue_cap,
             par: ParConfig::with_threads(1),
             hot_cache_slots: 0,
+            trace_events: 0,
         },
     );
     // Open-loop pacing: the total offered rate split across clients.
@@ -525,6 +532,13 @@ pub struct MixedBenchCfg {
     /// crash recovery; off (the default) = the in-memory store of the
     /// original sweep.
     pub wal: bool,
+    /// Observability capture (`--obs`): run every cell with the event
+    /// trace rings enabled and record the per-shard per-stage latency
+    /// breakdown, the end-to-end latency sum and a chrome://tracing
+    /// export alongside the usual columns. Off (the default) leaves
+    /// tracing disabled, which is the configuration the committed
+    /// baseline's throughput numbers are measured in.
+    pub obs: bool,
     /// Per-shard delta entries that trigger a merge.
     pub merge_threshold: usize,
     /// Per-shard hot-key cache slots (0 disables).
@@ -552,6 +566,7 @@ impl MixedBenchCfg {
             range_span: 512,
             bg_merge: true,
             wal: false,
+            obs: false,
             // 16k ops across 2 shards: 1% writes stay delta-resident,
             // 10% merge about once per shard, 50% merge repeatedly.
             merge_threshold: 512,
@@ -580,6 +595,7 @@ impl MixedBenchCfg {
             range_span: 128,
             bg_merge: true,
             wal: false,
+            obs: false,
             // ~10% of 1024 ops are writes across 2 shards: low enough
             // a threshold of 24 forces real merges in the smoke cell.
             merge_threshold: 24,
@@ -592,6 +608,28 @@ impl MixedBenchCfg {
             queue_cap: 256,
         }
     }
+}
+
+/// One per-shard per-stage latency row of a cell's breakdown,
+/// captured only with [`MixedBenchCfg::obs`] on. Every
+/// [`Stage`] gets a row per shard, zero-count stages included, so the
+/// document always names the full pipeline.
+#[derive(Debug, Clone)]
+pub struct StageRow {
+    /// Shard the row describes.
+    pub shard: usize,
+    /// Stage name ([`Stage::name`], e.g. `"admission_wait"`).
+    pub stage: &'static str,
+    /// Spans recorded for this (shard, stage).
+    pub count: u64,
+    /// Total span time, nanoseconds.
+    pub sum_ns: u64,
+    /// Median span, nanoseconds.
+    pub p50_ns: u64,
+    /// 95th percentile span.
+    pub p95_ns: u64,
+    /// 99th percentile span.
+    pub p99_ns: u64,
 }
 
 /// One measured cell of the mixed sweep.
@@ -655,6 +693,17 @@ pub struct MixedCell {
     /// Wall time of a full crash recovery from the cell's WAL
     /// directory after shutdown, nanoseconds (0 with `wal` off).
     pub recovery_ns: f64,
+    /// End-to-end (admission → response) latency sum, nanoseconds —
+    /// the denominator of the verifier's stage-coherence check.
+    pub latency_sum_ns: u64,
+    /// Per-shard per-stage breakdown (empty with `obs` off).
+    pub stages: Vec<StageRow>,
+    /// Events in the cell's chrome-trace export (0 with `obs` off).
+    pub trace_events: u64,
+    /// The cell's chrome://tracing JSON (empty with `obs` off). Kept
+    /// out of the result document — the binary writes the last cell's
+    /// export to `--trace-out`.
+    pub trace_json: String,
 }
 
 /// Per-client deterministic op stream: `(key, roll)` where `roll` is
@@ -709,6 +758,9 @@ pub fn measure_mixed_cell(
             queue_cap: cfg.queue_cap,
             par: ParConfig::with_threads(1),
             hot_cache_slots: cfg.hot_cache_slots,
+            // Bounded rings: big enough to keep the tail of a smoke
+            // cell, dropped-not-grown under the full sweep's load.
+            trace_events: if cfg.obs { 4096 } else { 0 },
         },
     );
     let write_below = (write_fraction * 1e6) as u64;
@@ -751,6 +803,34 @@ pub fn measure_mixed_cell(
     // cell's fixpoint, not a race with the last write.
     svc.store().quiesce();
     let stats = svc.stats();
+    // Capture the observability columns before the WAL teardown below
+    // drops the service (and its trace rings) for the recovery timing.
+    let (stages, trace_events, trace_json) = if cfg.obs {
+        let rows: Vec<StageRow> = svc
+            .stage_breakdown()
+            .iter()
+            .enumerate()
+            .flat_map(|(shard, row)| {
+                Stage::ALL.iter().map(move |&stage| {
+                    let h = &row[stage.index()];
+                    StageRow {
+                        shard,
+                        stage: stage.name(),
+                        count: h.count(),
+                        sum_ns: h.sum(),
+                        p50_ns: h.p50(),
+                        p95_ns: h.p95(),
+                        p99_ns: h.p99(),
+                    }
+                })
+            })
+            .collect();
+        let events =
+            (svc.obs().trace().events().len() + svc.store().obs().trace().events().len()) as u64;
+        (rows, events, svc.export_chrome_trace())
+    } else {
+        (Vec::new(), 0, String::new())
+    };
     // With the WAL on, the cell's teardown doubles as a recovery
     // benchmark: shut the service down cleanly, time a full
     // snapshot + WAL-tail recovery from the cell's directory, and
@@ -806,6 +886,10 @@ pub fn measure_mixed_cell(
         wal_records: stats.wal_records,
         wal_syncs: stats.wal_syncs,
         recovery_ns,
+        latency_sum_ns: stats.latency.sum(),
+        stages,
+        trace_events,
+        trace_json,
     }
 }
 
@@ -828,12 +912,27 @@ pub fn run_mixed_sweep(
     cells
 }
 
-/// Serialize a finished mixed sweep to the `isi-serve-mixed/v3`
+/// Serialize a finished mixed sweep to the `isi-serve-mixed/v4`
 /// document.
 pub fn to_mixed_json(cfg: &MixedBenchCfg, cells: &[MixedCell]) -> Json {
     let results: Vec<Json> = cells
         .iter()
         .map(|c| {
+            let stages: Vec<Json> = c
+                .stages
+                .iter()
+                .map(|s| {
+                    obj(vec![
+                        ("shard", num(s.shard as f64)),
+                        ("stage", str(s.stage)),
+                        ("count", num(s.count as f64)),
+                        ("sum_ns", num(s.sum_ns as f64)),
+                        ("p50_ns", num(s.p50_ns as f64)),
+                        ("p95_ns", num(s.p95_ns as f64)),
+                        ("p99_ns", num(s.p99_ns as f64)),
+                    ])
+                })
+                .collect();
             obj(vec![
                 ("backend", str(c.backend.name())),
                 ("shards", num(c.shards as f64)),
@@ -865,6 +964,9 @@ pub fn to_mixed_json(cfg: &MixedBenchCfg, cells: &[MixedCell]) -> Json {
                 ("wal_records", num(c.wal_records as f64)),
                 ("wal_syncs", num(c.wal_syncs as f64)),
                 ("recovery_ns", num(c.recovery_ns.round())),
+                ("latency_sum_ns", num(c.latency_sum_ns as f64)),
+                ("trace_events", num(c.trace_events as f64)),
+                ("stages", Json::Arr(stages)),
             ])
         })
         .collect();
@@ -913,6 +1015,7 @@ pub fn to_mixed_json(cfg: &MixedBenchCfg, cells: &[MixedCell]) -> Json {
                         FsyncMode::Off.name()
                     }),
                 ),
+                ("obs", Json::Bool(cfg.obs)),
                 ("merge_threshold", num(cfg.merge_threshold as f64)),
                 ("hot_cache_slots", num(cfg.hot_cache_slots as f64)),
                 (
@@ -936,6 +1039,19 @@ pub fn to_mixed_json(cfg: &MixedBenchCfg, cells: &[MixedCell]) -> Json {
 /// op/merge/plan counters (background-merge accounting must match the
 /// config's `bg_merge`, `residual_frac` must be a fraction) and
 /// monotone latency quantiles.
+///
+/// v4 observability checks, per cell: with `config.obs` **off** the
+/// stage breakdown must be empty and the trace export zero; with it
+/// **on** the breakdown must name every required stage per shard
+/// (`admission_wait`, `plan`, `engine`, `wal_fsync`, `merge`), stage
+/// counts must reconcile with the cell's own counters (an admission
+/// wait per dispatched op — a band, since a range call enqueues one
+/// entry per shard it spans, fsync/append spans exactly matching the
+/// WAL sync/record counts — so fsync spans are zero whenever the WAL
+/// is off — and one merge span per merge), request-path stage time
+/// (`admission_wait + plan + engine + writeback`) must not exceed the
+/// end-to-end latency sum, and the chrome-trace export must be
+/// non-empty.
 pub fn verify_mixed(doc: &Json) -> Result<(), String> {
     if doc.get("schema").and_then(Json::as_str) != Some(MIXED_SCHEMA) {
         return Err(format!("schema tag is not {MIXED_SCHEMA:?}"));
@@ -1011,6 +1127,10 @@ pub fn verify_mixed(doc: &Json) -> Result<(), String> {
     if !(0.0..=1.0).contains(&range_fraction) {
         return Err(format!("range fraction {range_fraction} outside [0, 1]"));
     }
+    let obs = config
+        .get("obs")
+        .and_then(Json::as_bool)
+        .ok_or("missing config.obs")?;
     let results = doc
         .get("results")
         .and_then(Json::as_arr)
@@ -1122,8 +1242,128 @@ pub fn verify_mixed(doc: &Json) -> Result<(), String> {
                          p50={p50} p95={p95} p99={p99}"
                     ));
                 }
+                verify_cell_stages(cell, &cell_name, obs, s)?;
             }
         }
+    }
+    Ok(())
+}
+
+/// The v4 per-cell observability checks of [`verify_mixed`] (see its
+/// doc for the full list).
+fn verify_cell_stages(
+    cell: &Json,
+    cell_name: &str,
+    obs: bool,
+    shards: usize,
+) -> Result<(), String> {
+    let count = |key: &str| cell.get(key).and_then(Json::as_f64).unwrap_or(-1.0);
+    let stages = cell
+        .get("stages")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("cell {cell_name} missing stages"))?;
+    let trace_events = count("trace_events");
+    if !obs {
+        if !stages.is_empty() || trace_events != 0.0 {
+            return Err(format!(
+                "cell {cell_name}: obs off but stage rows or trace events recorded"
+            ));
+        }
+        return Ok(());
+    }
+    if trace_events <= 0.0 {
+        return Err(format!(
+            "cell {cell_name}: obs on but the trace export is empty"
+        ));
+    }
+    // Fold the per-shard rows into per-stage totals, checking each row
+    // on the way through.
+    let mut counts = std::collections::BTreeMap::<&str, f64>::new();
+    let mut sums = std::collections::BTreeMap::<&str, f64>::new();
+    let mut rows_per_stage = std::collections::BTreeMap::<&str, usize>::new();
+    for row in stages {
+        let stage = row
+            .get("stage")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("cell {cell_name}: stage row without a stage name"))?;
+        let shard = row
+            .get("shard")
+            .and_then(Json::as_usize)
+            .ok_or_else(|| format!("cell {cell_name}: stage row without a shard"))?;
+        if shard >= shards {
+            return Err(format!(
+                "cell {cell_name}: stage row for shard {shard} of {shards}"
+            ));
+        }
+        let field = |key: &str| row.get(key).and_then(Json::as_f64).unwrap_or(-1.0);
+        let (c, sum) = (field("count"), field("sum_ns"));
+        if c < 0.0 || sum < 0.0 {
+            return Err(format!(
+                "cell {cell_name}: malformed {stage} row for shard {shard}"
+            ));
+        }
+        let (p50, p95, p99) = (field("p50_ns"), field("p95_ns"), field("p99_ns"));
+        if c > 0.0 && !(0.0 <= p50 && p50 <= p95 && p95 <= p99) {
+            return Err(format!(
+                "cell {cell_name}: non-monotone {stage} quantiles for shard {shard}: \
+                 p50={p50} p95={p95} p99={p99}"
+            ));
+        }
+        *counts.entry(stage).or_insert(0.0) += c;
+        *sums.entry(stage).or_insert(0.0) += sum;
+        *rows_per_stage.entry(stage).or_insert(0) += 1;
+    }
+    for required in ["admission_wait", "plan", "engine", "wal_fsync", "merge"] {
+        if rows_per_stage.get(required) != Some(&shards) {
+            return Err(format!(
+                "cell {cell_name}: stage {required} is not reported once per shard"
+            ));
+        }
+    }
+    let total = |name: &str| counts.get(name).copied().unwrap_or(0.0);
+    // Count reconciliation against the cell's own columns: one
+    // admission wait per dispatched op (cache hits never enqueue,
+    // range scans enqueue one entry per shard they touch, so the
+    // client-call column bounds a band), one append/fsync span per WAL
+    // record/sync — which pins fsync spans to zero whenever the WAL is
+    // off — and one merge span per merge.
+    let dispatched = count("requests") - count("cache_hits");
+    let admission = total("admission_wait");
+    let fan_out = count("range_scans") * (shards as f64 - 1.0);
+    if admission < dispatched || admission > dispatched + fan_out {
+        return Err(format!(
+            "cell {cell_name}: {admission} admission_wait spans outside \
+             [{dispatched}, {}]",
+            dispatched + fan_out
+        ));
+    }
+    for (stage, column) in [
+        ("wal_append", "wal_records"),
+        ("wal_fsync", "wal_syncs"),
+        ("merge", "merges"),
+    ] {
+        if total(stage) != count(column) {
+            return Err(format!(
+                "cell {cell_name}: {} {stage} spans for {column} = {}",
+                total(stage),
+                count(column)
+            ));
+        }
+    }
+    // Request-path stage time is a decomposition of end-to-end
+    // latency: the stages that run between a request's admission
+    // timestamp and its response can never sum past the latency sum.
+    // (Merge, WAL and backpressure spans overlap writeback or run on
+    // the background merger, so they stay out of the sum.)
+    let sum_of = |name: &str| sums.get(name).copied().unwrap_or(0.0);
+    let request_path =
+        sum_of("admission_wait") + sum_of("plan") + sum_of("engine") + sum_of("writeback");
+    let latency_sum = count("latency_sum_ns");
+    if request_path > latency_sum {
+        return Err(format!(
+            "cell {cell_name}: request-path stage time {request_path}ns exceeds the \
+             end-to-end latency sum {latency_sum}ns"
+        ));
     }
     Ok(())
 }
@@ -1184,6 +1424,7 @@ mod tests {
             range_span: 64,
             bg_merge: true,
             wal: false,
+            obs: false,
             merge_threshold: 16,
             hot_cache_slots: 16,
             policy: PolicySpec {
@@ -1225,10 +1466,18 @@ mod tests {
     fn mixed_sweep_with_wal_records_durability_columns() {
         let mut cfg = tiny_mixed_cfg();
         cfg.wal = true;
+        cfg.obs = true;
         cfg.backends = vec![Backend::Sorted];
         cfg.shard_counts = vec![2];
         let cells = run_mixed_sweep(&cfg, |_| {});
         assert_eq!(cells.len(), 2);
+        let stage_count = |c: &MixedCell, name: &str| {
+            c.stages
+                .iter()
+                .filter(|s| s.stage == name)
+                .map(|s| s.count)
+                .sum::<u64>()
+        };
         for c in &cells {
             // Every cell timed a recovery; only write-bearing cells
             // produced WAL records, and group commit never fsyncs
@@ -1241,9 +1490,124 @@ mod tests {
                 assert!(c.wal_records > 0);
                 assert!(c.wal_syncs > 0);
             }
+            // With obs on the WAL stages mirror the durability
+            // counters span for span.
+            assert_eq!(stage_count(c, "wal_append"), c.wal_records);
+            assert_eq!(stage_count(c, "wal_fsync"), c.wal_syncs);
         }
         let doc = to_mixed_json(&cfg, &cells);
         verify_mixed(&doc).expect("wal mixed document must verify");
+    }
+
+    #[test]
+    fn mixed_sweep_with_obs_captures_stage_breakdown() {
+        let cfg = MixedBenchCfg {
+            obs: true,
+            backends: vec![Backend::Csb],
+            shard_counts: vec![2],
+            write_fractions: vec![0.25],
+            ..tiny_mixed_cfg()
+        };
+        let cells = run_mixed_sweep(&cfg, |_| {});
+        assert_eq!(cells.len(), 1);
+        let c = &cells[0];
+        // The full stage matrix, a non-empty trace and count
+        // reconciliation against the cell's own columns.
+        assert_eq!(c.stages.len(), 2 * Stage::COUNT);
+        assert!(c.trace_events > 0);
+        assert!(c.trace_json.contains("traceEvents"));
+        let total = |name: &str| {
+            c.stages
+                .iter()
+                .filter(|s| s.stage == name)
+                .map(|s| s.count)
+                .sum::<u64>()
+        };
+        // One admission span per dispatched op; range calls add one
+        // entry per extra shard they span.
+        assert!(total("admission_wait") >= c.requests - c.cache_hits);
+        assert!(total("admission_wait") <= c.requests - c.cache_hits + c.range_scans);
+        assert_eq!(total("merge"), c.merges);
+        assert_eq!(total("wal_fsync"), 0, "wal off must record no fsync spans");
+        let request_path: u64 = ["admission_wait", "plan", "engine", "writeback"]
+            .iter()
+            .map(|n| {
+                c.stages
+                    .iter()
+                    .filter(|s| &s.stage == n)
+                    .map(|s| s.sum_ns)
+                    .sum::<u64>()
+            })
+            .sum();
+        assert!(
+            request_path <= c.latency_sum_ns,
+            "stage time {request_path} exceeds latency sum {}",
+            c.latency_sum_ns
+        );
+        let doc = to_mixed_json(&cfg, &cells);
+        verify_mixed(&doc).expect("obs document must verify");
+
+        // Tampering with the breakdown must fail the verifier:
+        // claiming fsync spans on a wal-off cell.
+        let mut tampered = doc;
+        if let Json::Obj(fields) = &mut tampered {
+            for (k, v) in fields.iter_mut() {
+                if k != "results" {
+                    continue;
+                }
+                let Json::Arr(cells) = v else { continue };
+                let Json::Obj(cell) = &mut cells[0] else {
+                    continue;
+                };
+                for (ck, cv) in cell.iter_mut() {
+                    if ck != "stages" {
+                        continue;
+                    }
+                    let Json::Arr(rows) = cv else { continue };
+                    for row in rows {
+                        let Json::Obj(row) = row else { continue };
+                        if row
+                            .iter()
+                            .any(|(rk, rv)| rk == "stage" && rv.as_str() == Some("wal_fsync"))
+                        {
+                            for (rk, rv) in row.iter_mut() {
+                                if rk == "count" {
+                                    *rv = num(7.0);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let err = verify_mixed(&tampered).expect_err("fsync spans with wal off");
+        assert!(err.contains("wal_fsync"), "{err}");
+    }
+
+    #[test]
+    fn verify_mixed_rejects_stage_rows_without_obs() {
+        // An obs-off document claiming trace events must fail.
+        let cfg = tiny_mixed_cfg();
+        let cells = run_mixed_sweep(&cfg, |_| {});
+        let mut doc = to_mixed_json(&cfg, &cells);
+        if let Json::Obj(fields) = &mut doc {
+            for (k, v) in fields.iter_mut() {
+                if k != "results" {
+                    continue;
+                }
+                let Json::Arr(cells) = v else { continue };
+                let Json::Obj(cell) = &mut cells[0] else {
+                    continue;
+                };
+                for (ck, cv) in cell.iter_mut() {
+                    if ck == "trace_events" {
+                        *cv = num(12.0);
+                    }
+                }
+            }
+        }
+        let err = verify_mixed(&doc).expect_err("trace events with obs off");
+        assert!(err.contains("obs off"), "{err}");
     }
 
     #[test]

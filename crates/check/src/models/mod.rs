@@ -17,14 +17,16 @@
 //! | [`cache`] | hot-key cache: invalidate-before-ack ⇒ no stale read after own-write ack |
 //! | [`queue`] | bounded admission queue: no lost wakeup / deadlock at backpressure |
 //! | [`wal`] | WAL group commit + snapshot-truncate: acked ⇒ durable, frontier monotone |
+//! | [`metrics`] | registry snapshot ordering: read ≤-side first ⇒ `syncs ≤ records` |
 //!
-//! [`epoch::torn_publish`] and [`wal::truncate_before_snapshot_sync`]
-//! are **known-bad** models kept as calibration targets: the test
-//! suite asserts the explorer *finds* their violations and that the
-//! printed seeds replay them.
+//! [`epoch::torn_publish`], [`wal::truncate_before_snapshot_sync`] and
+//! [`metrics::snapshot_reads_records_first`] are **known-bad** models
+//! kept as calibration targets: the test suite asserts the explorer
+//! *finds* their violations and that the printed seeds replay them.
 
 pub mod cache;
 pub mod epoch;
 pub mod merge;
+pub mod metrics;
 pub mod queue;
 pub mod wal;

@@ -197,3 +197,45 @@ fn random_exploration_finds_torn_publish() {
         "replay diverged: {replayed}"
     );
 }
+
+/// The registry snapshot-ordering model: reading the covered side
+/// (`syncs`) before the covering side (`records`) keeps every
+/// interleaving's snapshot coherent.
+#[test]
+fn metrics_snapshot_ordering_is_coherent() {
+    let n = check(
+        "metrics snapshot ordering",
+        Config::default(),
+        models::metrics::snapshot_reads_covered_side_first,
+    );
+    assert!(n > 1, "model has no concurrency ({n} interleaving)");
+}
+
+/// The pre-registry `wal_stats()` read order (records first) must show
+/// more syncs than records under some interleaving — and the printed
+/// seed must replay it.
+#[test]
+fn explorer_catches_records_first_snapshot_skew() {
+    let outcome = explore(
+        Config::default(),
+        models::metrics::snapshot_reads_records_first,
+    );
+    let Outcome::Violation(v) = outcome else {
+        panic!("records-first snapshot skew not caught: {outcome:?}");
+    };
+    assert!(
+        v.message.contains("skewed snapshot"),
+        "unexpected violation: {}",
+        v.message
+    );
+    let replayed = replay(
+        Config::default(),
+        &v.seed,
+        models::metrics::snapshot_reads_records_first,
+    )
+    .expect("replay seed did not reproduce the violation");
+    assert!(
+        replayed.contains("skewed snapshot"),
+        "replay diverged: {replayed}"
+    );
+}

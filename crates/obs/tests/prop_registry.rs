@@ -1,0 +1,152 @@
+//! Property tests for the metrics registry under concurrency.
+//!
+//! Three properties, each against a sequential oracle:
+//!
+//! 1. **No lost counts**: for arbitrary per-thread workloads, the
+//!    totals in a snapshot taken after all writers join are exactly
+//!    the sums of what the threads did.
+//! 2. **Coherent pairwise invariants**: a writer that bumps `records`
+//!    before `syncs` (so `syncs ≤ records` is always true of the
+//!    underlying cells), with the metrics registered `syncs` first,
+//!    never produces a snapshot with `syncs > records` — even with
+//!    snapshots racing the writers. This is the exact skew the old
+//!    `ServeStats` plumbing exhibited.
+//! 3. **Histogram merge = sequential oracle**: recording arbitrary
+//!    samples concurrently across per-shard histograms and merging
+//!    the snapshots equals one sequential `LatencyHist` fed every
+//!    sample.
+
+use proptest::prelude::*;
+
+use isi_core::stats::LatencyHist;
+use isi_obs::{Registry, Value};
+
+proptest! {
+    // Each case spawns real threads; keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn concurrent_increments_are_never_lost(
+        per_thread in proptest::collection::vec(1u64..200, 1..6),
+    ) {
+        let reg = Registry::new();
+        let counters: Vec<_> = per_thread
+            .iter()
+            .enumerate()
+            .map(|(t, _)| reg.counter("ops", &[("thread", &t.to_string())]))
+            .collect();
+        let hist = reg.hist("lat", &[]);
+
+        std::thread::scope(|scope| {
+            for (t, &n) in per_thread.iter().enumerate() {
+                let counter = counters[t].clone();
+                let hist = hist.clone();
+                scope.spawn(move || {
+                    for i in 0..n {
+                        counter.inc();
+                        hist.record(i);
+                    }
+                });
+            }
+            // Snapshots racing the writers must stay within bounds.
+            let total: u64 = per_thread.iter().sum();
+            for _ in 0..8 {
+                let snap = reg.snapshot();
+                prop_assert!(snap.counter_sum("ops") <= total);
+            }
+            Ok(())
+        })?;
+
+        let snap = reg.snapshot();
+        let total: u64 = per_thread.iter().sum();
+        prop_assert_eq!(snap.counter_sum("ops"), total);
+        for (t, &n) in per_thread.iter().enumerate() {
+            prop_assert_eq!(
+                snap.get("ops", &[("thread", &t.to_string())]),
+                Some(&Value::Counter(n))
+            );
+        }
+        match snap.get("lat", &[]) {
+            Some(Value::Hist(h)) => prop_assert_eq!(h.count(), total),
+            other => prop_assert!(false, "missing hist: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn snapshots_never_show_syncs_ahead_of_records(
+        writes in 50u64..400,
+        writer_threads in 1usize..4,
+    ) {
+        let reg = Registry::new();
+        // Registration order IS the snapshot read order: the ≤ side
+        // first. The writer bumps `records` first, so `syncs` can
+        // never be observed ahead.
+        let syncs = reg.counter("wal_syncs", &[]);
+        let records = reg.counter("wal_records", &[]);
+
+        std::thread::scope(|scope| {
+            for _ in 0..writer_threads {
+                let records = records.clone();
+                let syncs = syncs.clone();
+                scope.spawn(move || {
+                    for _ in 0..writes {
+                        records.inc();
+                        syncs.inc();
+                    }
+                });
+            }
+            for _ in 0..64 {
+                let snap = reg.snapshot();
+                let (s, r) = (
+                    snap.counter_sum("wal_syncs"),
+                    snap.counter_sum("wal_records"),
+                );
+                prop_assert!(
+                    s <= r,
+                    "skewed snapshot: wal_syncs={} > wal_records={}",
+                    s,
+                    r
+                );
+            }
+            Ok(())
+        })?;
+
+        let snap = reg.snapshot();
+        let expect = writes * writer_threads as u64;
+        prop_assert_eq!(snap.counter_sum("wal_records"), expect);
+        prop_assert_eq!(snap.counter_sum("wal_syncs"), expect);
+    }
+
+    #[test]
+    fn merged_shard_hists_equal_sequential_oracle(
+        shards in proptest::collection::vec(
+            proptest::collection::vec(0u64..2_000_000, 0..120),
+            1..5,
+        ),
+    ) {
+        let reg = Registry::new();
+        let hists: Vec<_> = shards
+            .iter()
+            .enumerate()
+            .map(|(s, _)| reg.hist("stage_ns", &[("shard", &s.to_string())]))
+            .collect();
+
+        std::thread::scope(|scope| {
+            for (s, samples) in shards.iter().enumerate() {
+                let hist = hists[s].clone();
+                scope.spawn(move || {
+                    for &v in samples {
+                        hist.record(v);
+                    }
+                });
+            }
+        });
+
+        let mut oracle = LatencyHist::new();
+        for v in shards.iter().flatten() {
+            oracle.record(*v);
+        }
+        let merged = reg.snapshot().hist_merged("stage_ns", |_| true);
+        prop_assert_eq!(merged, oracle);
+    }
+}

@@ -57,13 +57,24 @@
 //!    torn or bit-flipped tails by CRC — see [`isi_durable`] for the
 //!    formats, the crash-ordering invariants, and the fault-injection
 //!    harness that exercises them.
-//! 6. **Measure** — per-entry latency (admission → response) lands in
-//!    a log-bucketed [`LatencyHist`](isi_core::stats::LatencyHist),
-//!    and [`ServeStats`](service::ServeStats) adds write, cache,
-//!    plan (`delta_hits`, `residual_frac`), range-scan, delta-size,
-//!    merge-backlog, merge-latency and WAL (`wal_records`,
-//!    `wal_syncs`) counters, so every dial the system exposes (flush
-//!    policy, merge threshold, merge mode, fsync mode) is observable.
+//! 6. **Measure** — every counter and histogram lives in an
+//!    [`isi_obs`] metrics registry (store-side `store_*`, service-side
+//!    `serve_*`): [`ServeStats`](service::ServeStats) is one coherent
+//!    snapshot of both (write, cache, plan, range-scan, delta-size,
+//!    merge and WAL counters plus the admission→response
+//!    [`LatencyHist`](isi_core::stats::LatencyHist)), each pipeline
+//!    stage (admission wait, plan, engine, writeback, commit, WAL
+//!    append/fsync, merge) records a per-shard latency histogram
+//!    ([`LookupService::stage_breakdown`](service::LookupService::stage_breakdown)),
+//!    and [`ServeConfig::trace_events`](service::ServeConfig) turns on
+//!    a bounded structured-event ring exportable as chrome://tracing
+//!    JSON
+//!    ([`export_chrome_trace`](service::LookupService::export_chrome_trace)).
+//!    Prometheus/JSON renderings come from
+//!    [`metrics_prometheus`](service::LookupService::metrics_prometheus) /
+//!    [`metrics_json`](service::LookupService::metrics_json); with
+//!    tracing off, the instrumentation is a few atomic bumps per
+//!    batch.
 //!
 //! ```
 //! use isi_serve::{Backend, LookupService, ServeConfig, ShardedStore};
@@ -100,6 +111,7 @@ pub mod service;
 pub mod store;
 
 pub use isi_durable::FsyncMode;
+pub use isi_obs::{Obs, Stage};
 pub use plan::BatchPlan;
 pub use service::{BatchPolicy, LookupService, ServeConfig, ServeStats};
 pub use store::{Backend, BatchOutcome, LookupScratch, MergeMode, ShardedStore, StoreConfig};

@@ -60,7 +60,7 @@
 //! log-bucketed [`LatencyHist`] so that trade-off is observable.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -71,6 +71,8 @@ use isi_core::sched::RunStats;
 use isi_core::stats::LatencyHist;
 use isi_core::sync::{CondvarExt, MutexExt};
 use isi_hash::table::HashKey;
+use isi_obs::{chrome_trace_json, Counter, Hist, Obs, SpanTimer, Stage, TraceKind, Value};
+use isi_search::autotune::group_for_density;
 
 use crate::store::{LookupScratch, ShardedStore};
 
@@ -111,6 +113,13 @@ pub struct ServeConfig {
     /// answers a `get` without admission; the write path invalidates
     /// a key's slot before the write is acknowledged.
     pub hot_cache_slots: usize,
+    /// Per-shard trace-ring capacity for structured events (batch
+    /// flushes, merges, WAL syncs, backpressure stalls, …); 0 — the
+    /// default — disables tracing entirely, leaving the emit sites as
+    /// one relaxed load each. Enables both the service's and the
+    /// store's rings; export the merged timeline with
+    /// [`LookupService::export_chrome_trace`].
+    pub trace_events: usize,
 }
 
 impl Default for ServeConfig {
@@ -121,6 +130,7 @@ impl Default for ServeConfig {
             queue_cap: 1024,
             par: ParConfig::with_threads(1),
             hot_cache_slots: 0,
+            trace_events: 0,
         }
     }
 }
@@ -255,28 +265,39 @@ struct ShardState {
     work: Condvar,
     /// Producers wait here for queue space (backpressure).
     space: Condvar,
-    metrics: Mutex<ShardMetrics>,
-    /// Outside the metrics mutex so the client cache-hit fast path
-    /// never contends with a dispatching batch.
-    cache_hits: AtomicU64,
+    /// Interleaved-engine counters, merged once per read run. A plain
+    /// struct behind a small mutex: only this shard's dispatcher
+    /// writes it, and [`LookupService::stats`] reads it.
+    engine: Mutex<RunStats>,
+    /// Registry handles for this shard's counters (see
+    /// [`ShardCounters`]); lock-free, so the client cache-hit fast
+    /// path never contends with a dispatching batch.
+    m: ShardCounters,
     /// `None` when `hot_cache_slots == 0`.
     cache: Option<Mutex<HotCache>>,
 }
 
-#[derive(Default)]
-struct ShardMetrics {
-    hist: LatencyHist,
-    requests: u64,
-    gets: u64,
-    puts: u64,
-    removes: u64,
-    many_keys: u64,
-    range_scans: u64,
-    delta_hits: u64,
-    batches: u64,
-    full_flushes: u64,
-    timeout_flushes: u64,
-    engine: RunStats,
+/// One shard's handles into the service metrics registry, resolved
+/// once at start so the hot path never touches the registry lock.
+///
+/// Registration order is load-bearing (see `isi_obs::registry`): the
+/// flush-flavor counters are registered *before* `batches` and the
+/// dispatcher bumps `batches` first, so no snapshot can show
+/// `full_flushes + timeout_flushes > batches`.
+struct ShardCounters {
+    full_flushes: Counter,
+    timeout_flushes: Counter,
+    batches: Counter,
+    requests: Counter,
+    gets: Counter,
+    puts: Counter,
+    removes: Counter,
+    many_keys: Counter,
+    range_scans: Counter,
+    delta_hits: Counter,
+    cache_hits: Counter,
+    /// Per-entry latency (enqueue → response routed), nanoseconds.
+    latency: Hist,
 }
 
 /// Aggregated service metrics (summed over shards, plus the store's
@@ -388,6 +409,11 @@ pub struct LookupService {
     store: Arc<ShardedStore>,
     shards: Vec<Arc<ShardState>>,
     cfg: ServeConfig,
+    /// Service-side observability hub: `serve_*` metrics, per-shard
+    /// stage histograms (admission wait, commit, writeback, queue
+    /// backpressure) and the service trace ring. Store-side spans live
+    /// on [`ShardedStore::obs`]; the export methods merge both.
+    obs: Arc<Obs>,
     dispatchers: Vec<JoinHandle<()>>,
     /// Set by `close`; request paths that can answer without touching
     /// an admission queue (cache hits, empty `get_many`) check it so
@@ -411,8 +437,17 @@ impl LookupService {
         assert!(cfg.queue_cap > 0, "queue_cap must be positive");
         assert!(cfg.batch.max_batch > 0, "max_batch must be positive");
         let store = store.into();
+        let obs = Arc::new(Obs::new("serve", store.num_shards()));
+        if cfg.trace_events > 0 {
+            obs.trace().enable(cfg.trace_events);
+            store.obs().trace().enable(cfg.trace_events);
+        }
         let shards: Vec<Arc<ShardState>> = (0..store.num_shards())
-            .map(|_| {
+            .map(|shard| {
+                let reg = obs.registry();
+                let tag = shard.to_string();
+                let l = [("shard", tag.as_str())];
+                let counter = |name| reg.counter(name, &l);
                 Arc::new(ShardState {
                     q: Mutex::new(QueueState {
                         reqs: VecDeque::new(),
@@ -420,8 +455,23 @@ impl LookupService {
                     }),
                     work: Condvar::new(),
                     space: Condvar::new(),
-                    metrics: Mutex::new(ShardMetrics::default()),
-                    cache_hits: AtomicU64::new(0),
+                    engine: Mutex::new(RunStats::default()),
+                    m: ShardCounters {
+                        // Flush flavors before `batches`: registration
+                        // order is the snapshot-coherence contract.
+                        full_flushes: counter("serve_full_flushes"),
+                        timeout_flushes: counter("serve_timeout_flushes"),
+                        batches: counter("serve_batches"),
+                        requests: counter("serve_requests"),
+                        gets: counter("serve_gets"),
+                        puts: counter("serve_puts"),
+                        removes: counter("serve_removes"),
+                        many_keys: counter("serve_many_keys"),
+                        range_scans: counter("serve_range_scans"),
+                        delta_hits: counter("serve_delta_hits"),
+                        cache_hits: counter("serve_cache_hits"),
+                        latency: reg.hist("serve_latency_ns", &l),
+                    },
                     cache: (cfg.hot_cache_slots > 0)
                         .then(|| Mutex::new(HotCache::new(cfg.hot_cache_slots))),
                 })
@@ -433,9 +483,10 @@ impl LookupService {
             .map(|(shard, state)| {
                 let store = Arc::clone(&store);
                 let state = Arc::clone(state);
+                let obs = Arc::clone(&obs);
                 std::thread::Builder::new()
                     .name(format!("isi-serve-{shard}"))
-                    .spawn(move || dispatch_loop(&store, shard, &state, cfg))
+                    .spawn(move || dispatch_loop(&store, shard, &state, cfg, &obs))
                     .expect("spawn dispatcher thread")
             })
             .collect();
@@ -443,6 +494,7 @@ impl LookupService {
             store,
             shards,
             cfg,
+            obs,
             dispatchers,
             closed: std::sync::atomic::AtomicBool::new(false),
         }
@@ -471,12 +523,24 @@ impl LookupService {
     fn enqueue(&self, shard: usize, op: Op) {
         let state = &self.shards[shard];
         let mut q = state.q.plock("admission queue");
-        loop {
-            assert!(q.open, "request on a closed LookupService");
-            if q.reqs.len() < self.cfg.queue_cap {
-                break;
+        assert!(q.open, "request on a closed LookupService");
+        if q.reqs.len() >= self.cfg.queue_cap {
+            // Stalled on a full queue: the wait is a Backpressure span
+            // (payload 0 = admission-queue flavor; the store's delta
+            // bound emits the same kind with payload 1).
+            let t = SpanTimer::start();
+            loop {
+                q = state.space.pwait(q, "admission queue (backpressure)");
+                assert!(q.open, "request on a closed LookupService");
+                if q.reqs.len() < self.cfg.queue_cap {
+                    break;
+                }
             }
-            q = state.space.pwait(q, "admission queue (backpressure)");
+            let dur = t.elapsed_ns();
+            self.obs.record_stage(shard, Stage::Backpressure, dur);
+            self.obs
+                .trace()
+                .emit(shard, TraceKind::Backpressure, t.start_ns(), dur, 0, 0);
         }
         q.reqs.push_back(Entry {
             op,
@@ -500,9 +564,7 @@ impl LookupService {
             .as_ref()
             .and_then(|cache| cache.plock("hot-key cache").probe(key));
         if let Some(result) = cached {
-            self.shards[shard]
-                .cache_hits
-                .fetch_add(1, Ordering::Relaxed);
+            self.shards[shard].m.cache_hits.inc();
             return result;
         }
         let ticket = Arc::new(Ticket::new());
@@ -624,31 +686,128 @@ impl LookupService {
 
     /// Aggregated metrics over all shards (latency histograms merged),
     /// plus the store's merge/delta counters.
+    ///
+    /// Built from one coherent snapshot of each registry (see
+    /// `isi_obs::registry`): within the returned struct,
+    /// `full_flushes + timeout_flushes <= batches`,
+    /// `wal_syncs <= wal_records` and `bg_merges <= merges` hold even
+    /// while dispatchers and mergers race the call.
     pub fn stats(&self) -> ServeStats {
-        let mut total = ServeStats::default();
+        let snap = self.obs.snapshot();
+        let store_snap = self.store.obs().snapshot();
+        let mut total = ServeStats {
+            requests: snap.counter_sum("serve_requests"),
+            gets: snap.counter_sum("serve_gets"),
+            puts: snap.counter_sum("serve_puts"),
+            removes: snap.counter_sum("serve_removes"),
+            many_keys: snap.counter_sum("serve_many_keys"),
+            range_scans: snap.counter_sum("serve_range_scans"),
+            cache_hits: snap.counter_sum("serve_cache_hits"),
+            delta_hits: snap.counter_sum("serve_delta_hits"),
+            batches: snap.counter_sum("serve_batches"),
+            full_flushes: snap.counter_sum("serve_full_flushes"),
+            timeout_flushes: snap.counter_sum("serve_timeout_flushes"),
+            latency: snap.hist_merged("serve_latency_ns", |_| true),
+            merges: store_snap.counter_sum("store_merges"),
+            bg_merges: store_snap.counter_sum("store_bg_merges"),
+            wal_records: store_snap.counter_sum("store_wal_records"),
+            wal_syncs: store_snap.counter_sum("store_wal_syncs"),
+            merge_backlog: self.store.merge_backlog() as u64,
+            merge_latency: self.store.merge_latency(),
+            delta_keys: self.store.delta_len() as u64,
+            ..ServeStats::default()
+        };
         for state in &self.shards {
-            let m = state.metrics.plock("shard metrics");
-            total.requests += m.requests;
-            total.gets += m.gets;
-            total.puts += m.puts;
-            total.removes += m.removes;
-            total.many_keys += m.many_keys;
-            total.range_scans += m.range_scans;
-            total.delta_hits += m.delta_hits;
-            total.cache_hits += state.cache_hits.load(Ordering::Relaxed);
-            total.batches += m.batches;
-            total.full_flushes += m.full_flushes;
-            total.timeout_flushes += m.timeout_flushes;
-            total.latency.merge(&m.hist);
-            total.engine.merge(&m.engine);
+            total
+                .engine
+                .merge(&state.engine.plock("shard engine stats"));
         }
-        total.merges = self.store.merges();
-        total.bg_merges = self.store.bg_merges();
-        total.merge_backlog = self.store.merge_backlog() as u64;
-        total.merge_latency = self.store.merge_latency();
-        total.delta_keys = self.store.delta_len() as u64;
-        (total.wal_records, total.wal_syncs) = self.store.wal_stats();
         total
+    }
+
+    /// The service-side observability hub (`serve_*` metrics, the
+    /// service trace ring). The store's hub is at
+    /// [`ShardedStore::obs`].
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Every store- and service-side metric in the Prometheus text
+    /// exposition format: two coherent snapshots, concatenated (metric
+    /// names are disjoint by prefix, `store_*` vs `serve_*`).
+    pub fn metrics_prometheus(&self) -> String {
+        let mut out = self.store.obs().snapshot().to_prometheus();
+        out.push_str(&self.obs.snapshot().to_prometheus());
+        out
+    }
+
+    /// Every store- and service-side metric as one JSON document.
+    pub fn metrics_json(&self) -> String {
+        self.store
+            .obs()
+            .snapshot()
+            .concat(&self.obs.snapshot())
+            .to_json()
+    }
+
+    /// The merged store+service event timeline rendered as
+    /// chrome://tracing JSON (load it at `chrome://tracing` or in
+    /// Perfetto; one row per shard). Events are ordered by timestamp —
+    /// the two rings share a clock but not a sequence counter. Empty
+    /// when [`ServeConfig::trace_events`] is 0.
+    pub fn export_chrome_trace(&self) -> String {
+        let mut events = self.store.obs().trace().events();
+        events.extend(self.obs.trace().events());
+        events.sort_by_key(|e| e.ts_ns);
+        chrome_trace_json(&events)
+    }
+
+    /// Per-shard per-stage latency breakdown, indexed by
+    /// [`Stage::index`]: the union of the store's spans (plan, engine,
+    /// WAL append/fsync, merge, range scan, delta backpressure) and
+    /// the service's (admission wait, commit, writeback, queue
+    /// backpressure).
+    pub fn stage_breakdown(&self) -> Vec<[LatencyHist; Stage::COUNT]> {
+        let mut rows = self.obs.stage_breakdown();
+        for (row, store_row) in rows.iter_mut().zip(self.store.obs().stage_breakdown()) {
+            for (hist, store_hist) in row.iter_mut().zip(store_row) {
+                hist.merge(&store_hist);
+            }
+        }
+        rows
+    }
+
+    /// Per-shard interleaving group-size suggestion: scale `calibrated`
+    /// (e.g. the result of `isi_search::autotune::autotune_group_size`
+    /// on a pilot sample) by each shard's *observed* delta-decided
+    /// density. Keys the plan stage answers never reach the engine, so
+    /// they contribute no cache miss for an extra instruction stream
+    /// to hide; a shard whose reads are mostly delta-decided wants a
+    /// smaller group than its cold calibration suggests (see
+    /// `isi_search::autotune::group_for_density`). A shard with no
+    /// dispatched reads yet keeps the calibration.
+    pub fn suggested_groups(&self, calibrated: usize) -> Vec<usize> {
+        let snap = self.obs.snapshot();
+        (0..self.shards.len())
+            .map(|shard| {
+                let tag = shard.to_string();
+                let delta_hits = match snap.get("serve_delta_hits", &[("shard", tag.as_str())]) {
+                    Some(Value::Counter(v)) => *v,
+                    _ => 0,
+                };
+                let lookups = self.shards[shard]
+                    .engine
+                    .plock("shard engine stats")
+                    .lookups;
+                let total = lookups + delta_hits;
+                let density = if total == 0 {
+                    0.0
+                } else {
+                    delta_hits as f64 / total as f64
+                };
+                group_for_density(calibrated, density)
+            })
+            .collect()
     }
 
     /// Stop accepting requests, answer everything still queued
@@ -696,7 +855,13 @@ struct DispatchBufs {
 /// `max_wait`, execute the batch FIFO (read runs through the
 /// interleaved engine, writes in admission order between runs), route
 /// responses, record latency.
-fn dispatch_loop(store: &ShardedStore, shard: usize, state: &ShardState, cfg: ServeConfig) {
+fn dispatch_loop(
+    store: &ShardedStore,
+    shard: usize,
+    state: &ShardState,
+    cfg: ServeConfig,
+    obs: &Obs,
+) {
     let mut bufs = DispatchBufs {
         batch: Vec::with_capacity(cfg.batch.max_batch),
         run_keys: Vec::with_capacity(cfg.batch.max_batch),
@@ -737,7 +902,7 @@ fn dispatch_loop(store: &ShardedStore, shard: usize, state: &ShardState, cfg: Se
         state.space.notify_all();
         drop(q);
 
-        execute_batch(store, shard, state, cfg, &mut bufs, full);
+        execute_batch(store, shard, state, cfg, obs, &mut bufs, full);
 
         q = state.q.plock("admission queue");
     }
@@ -751,30 +916,45 @@ fn dispatch_loop(store: &ShardedStore, shard: usize, state: &ShardState, cfg: Se
 /// Writes only append to the delta — a threshold crossing enqueues a
 /// background merge job, it never rebuilds here.
 ///
-/// Counter updates and the corresponding ticket fulfillments happen
-/// under one metrics-lock acquisition, so the moment a caller's wait
-/// returns, [`LookupService::stats`] already includes its request.
-/// The lock is *not* held across engine runs or store writes (a write
-/// can trigger a whole-shard merge rebuild), so a monitoring thread
-/// reading stats never blocks behind the slow work itself.
+/// An entry's counters and latency sample land *before* its ticket is
+/// fulfilled (the counters are lock-free `Release` bumps, the stats
+/// snapshot reads `Acquire`), so the moment a caller's wait returns,
+/// [`LookupService::stats`] already includes its request. No lock is
+/// held across engine runs or store writes (a write can trigger a
+/// whole-shard merge rebuild), so a monitoring thread reading stats
+/// never blocks behind the slow work itself.
+///
+/// Stage spans recorded here: `admission_wait` per entry at drain,
+/// `writeback` around each write run (store call + cache
+/// invalidation), `commit` around each fulfill pass. The store records
+/// `plan`/`engine`/`wal_*`/`merge` inside its own calls.
 fn execute_batch(
     store: &ShardedStore,
     shard: usize,
     state: &ShardState,
     cfg: ServeConfig,
+    obs: &Obs,
     bufs: &mut DispatchBufs,
     full: bool,
 ) {
+    let batch_t = SpanTimer::start();
     // Count the flush up front: no ticket from this batch can resolve
-    // before the batch itself is visible in the stats.
-    {
-        let mut m = state.metrics.plock("shard metrics");
-        m.batches += 1;
-        if full {
-            m.full_flushes += 1;
-        } else {
-            m.timeout_flushes += 1;
-        }
+    // before the batch itself is visible in the stats. `batches` bumps
+    // before its flavor (the registration-order counterpart lives in
+    // `ShardCounters`).
+    state.m.batches.inc();
+    if full {
+        state.m.full_flushes.inc();
+    } else {
+        state.m.timeout_flushes.inc();
+    }
+    // Queue residency ends now; what follows is execution.
+    for entry in &bufs.batch {
+        obs.record_stage(
+            shard,
+            Stage::AdmissionWait,
+            entry.enqueued.elapsed().as_nanos() as u64,
+        );
     }
     let mut i = 0;
     while i < bufs.batch.len() {
@@ -817,25 +997,35 @@ fn execute_batch(
                     }
                 }
             }
-            let mut m = state.metrics.plock("shard metrics");
-            m.engine.merge(&outcome.engine);
-            m.delta_hits += outcome.delta_hits;
+            state
+                .engine
+                .plock("shard engine stats")
+                .merge(&outcome.engine);
+            state.m.delta_hits.add(outcome.delta_hits);
+            let commit_t = SpanTimer::start();
             for &(ei, start, len) in &bufs.run_spans {
                 let entry = &bufs.batch[ei];
+                // Counters and the latency sample land before the
+                // fulfill: a caller whose wait returned is already in
+                // the stats.
+                state.m.requests.inc();
+                state
+                    .m
+                    .latency
+                    .record(entry.enqueued.elapsed().as_nanos() as u64);
                 match &entry.op {
                     Op::Get { ticket, .. } => {
+                        state.m.gets.inc();
                         ticket.fulfill(bufs.out[start]);
-                        m.gets += 1;
                     }
                     Op::GetMany { ticket, .. } => {
+                        state.m.many_keys.add(len as u64);
                         ticket.fulfill(bufs.out[start..start + len].to_vec());
-                        m.many_keys += len as u64;
                     }
                     _ => unreachable!("write in read run"),
                 }
-                m.requests += 1;
-                m.hist.record(entry.enqueued.elapsed().as_nanos() as u64);
             }
+            obs.record_stage(shard, Stage::Commit, commit_t.elapsed_ns());
         }
         // Apply the writes and range scans that ended the run, in
         // admission order. Consecutive writes form one write run —
@@ -860,6 +1050,7 @@ fn execute_batch(
                         bufs.write_idx.push(i);
                         i += 1;
                     }
+                    let wb_t = SpanTimer::start();
                     store.apply_write_run(&bufs.write_ops, &mut bufs.write_prevs);
                     // Invalidate before fulfilling: a client whose
                     // write just acked must not then read a stale
@@ -869,38 +1060,59 @@ fn execute_batch(
                         for &(key, _) in &bufs.write_ops {
                             cache.invalidate(key);
                         }
+                        obs.trace().emit_now(
+                            shard,
+                            TraceKind::CacheInvalidate,
+                            bufs.write_ops.len() as u64,
+                            0,
+                        );
                     }
-                    let mut m = state.metrics.plock("shard metrics");
+                    obs.record_stage(shard, Stage::Writeback, wb_t.elapsed_ns());
+                    let commit_t = SpanTimer::start();
                     for (&ei, &prev) in bufs.write_idx.iter().zip(&bufs.write_prevs) {
                         let entry = &bufs.batch[ei];
+                        state.m.requests.inc();
+                        state
+                            .m
+                            .latency
+                            .record(entry.enqueued.elapsed().as_nanos() as u64);
                         match &entry.op {
                             Op::Put { ticket, .. } => {
-                                m.puts += 1;
+                                state.m.puts.inc();
                                 ticket.fulfill(prev);
                             }
                             Op::Remove { ticket, .. } => {
-                                m.removes += 1;
+                                state.m.removes.inc();
                                 ticket.fulfill(prev);
                             }
                             _ => unreachable!("read in write run"),
                         }
-                        m.requests += 1;
-                        m.hist.record(entry.enqueued.elapsed().as_nanos() as u64);
                     }
+                    obs.record_stage(shard, Stage::Commit, commit_t.elapsed_ns());
                 }
                 Op::Range { lo, hi, ticket } => {
                     let pairs = store.scan_range(shard, *lo, *hi);
                     let entry = &bufs.batch[i];
-                    let mut m = state.metrics.plock("shard metrics");
-                    m.range_scans += 1;
+                    state.m.range_scans.inc();
+                    state.m.requests.inc();
+                    state
+                        .m
+                        .latency
+                        .record(entry.enqueued.elapsed().as_nanos() as u64);
                     ticket.fulfill(pairs);
-                    m.requests += 1;
-                    m.hist.record(entry.enqueued.elapsed().as_nanos() as u64);
                     i += 1;
                 }
             }
         }
     }
+    obs.trace().emit(
+        shard,
+        TraceKind::BatchFlush,
+        batch_t.start_ns(),
+        batch_t.elapsed_ns(),
+        bufs.batch.len() as u64,
+        u64::from(full),
+    );
 }
 
 #[cfg(test)]
@@ -1340,5 +1552,188 @@ mod tests {
                 ..ServeConfig::default()
             },
         );
+    }
+
+    #[test]
+    fn suggested_groups_track_delta_density() {
+        // Huge merge threshold: writes pile up in the delta, so repeat
+        // reads of written keys are delta-decided and the observed
+        // density should pull the suggested group below calibration.
+        let store = ShardedStore::build_with(
+            Backend::Sorted,
+            1,
+            &pairs(500),
+            StoreConfig::with_threshold(1 << 20),
+        );
+        let svc = LookupService::start(
+            store,
+            ServeConfig {
+                batch: BatchPolicy {
+                    max_batch: 4,
+                    max_wait: Duration::from_micros(50),
+                },
+                ..ServeConfig::default()
+            },
+        );
+        // Before any dispatched read the calibration stands.
+        assert_eq!(svc.suggested_groups(8), vec![8]);
+        // Cold engine-only reads: density 0, still the calibration.
+        for k in 0..8u64 {
+            svc.get(k * 2);
+        }
+        assert_eq!(svc.suggested_groups(8), vec![8]);
+        // Warm the delta and keep re-reading it: density rises, the
+        // suggestion shrinks (but never below one stream).
+        for k in 0..16u64 {
+            svc.put(k * 2 + 1, k);
+        }
+        for _ in 0..3 {
+            for k in 0..16u64 {
+                assert_eq!(svc.get(k * 2 + 1), Some(k));
+            }
+        }
+        let groups = svc.suggested_groups(8);
+        assert_eq!(groups.len(), 1);
+        assert!(
+            (1..8).contains(&groups[0]),
+            "delta-dense shard kept group {}",
+            groups[0]
+        );
+    }
+
+    #[test]
+    fn stats_snapshots_stay_coherent_under_concurrent_writes() {
+        // Regression for the pre-registry skew: reading wal_records
+        // and wal_syncs as two independent atomic loads could observe
+        // a sync without the record it covered. A monitor hammering
+        // stats() against a durable write load must never see any
+        // cross-counter invariant inverted, mid-flight or after.
+        use isi_durable::{Fs, FsyncMode, MemFs};
+        use std::sync::atomic::AtomicBool;
+
+        let fs: Arc<dyn Fs> = Arc::new(MemFs::new());
+        let store = ShardedStore::build_with_fs(
+            Backend::Sorted,
+            2,
+            &pairs(100),
+            StoreConfig {
+                fsync: FsyncMode::Group,
+                ..StoreConfig::with_threshold(4)
+            },
+            fs,
+        );
+        let svc = LookupService::start(
+            store,
+            ServeConfig {
+                batch: BatchPolicy {
+                    max_batch: 8,
+                    max_wait: Duration::from_micros(50),
+                },
+                ..ServeConfig::default()
+            },
+        );
+        let done = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let svc = &svc;
+            let done = &done;
+            let monitor = scope.spawn(move || {
+                let mut snaps = 0u64;
+                while !done.load(Ordering::Relaxed) {
+                    let s = svc.stats();
+                    assert!(
+                        s.wal_syncs <= s.wal_records,
+                        "skewed snapshot: {} syncs > {} records",
+                        s.wal_syncs,
+                        s.wal_records
+                    );
+                    assert!(
+                        s.bg_merges <= s.merges,
+                        "skewed snapshot: {} bg merges > {} merges",
+                        s.bg_merges,
+                        s.merges
+                    );
+                    assert!(
+                        s.full_flushes + s.timeout_flushes <= s.batches,
+                        "skewed snapshot: {} + {} flushes > {} batches",
+                        s.full_flushes,
+                        s.timeout_flushes,
+                        s.batches
+                    );
+                    snaps += 1;
+                }
+                snaps
+            });
+            std::thread::scope(|writers| {
+                for c in 0..3u64 {
+                    writers.spawn(move || {
+                        for i in 0..200u64 {
+                            svc.put(c + i * 3, i);
+                        }
+                    });
+                }
+            });
+            done.store(true, Ordering::Relaxed);
+            assert!(monitor.join().expect("monitor thread") > 0);
+        });
+        svc.store().quiesce();
+        let s = svc.stats();
+        assert_eq!(s.puts, 600);
+        assert!(s.wal_records > 0);
+        assert!(s.wal_syncs > 0);
+        assert!(s.wal_syncs <= s.wal_records);
+    }
+
+    #[test]
+    fn stage_breakdown_and_exports_cover_the_pipeline() {
+        let store =
+            ShardedStore::build_with(Backend::Csb, 2, &pairs(500), StoreConfig::with_threshold(4));
+        let svc = LookupService::start(
+            store,
+            ServeConfig {
+                batch: BatchPolicy {
+                    max_batch: 8,
+                    max_wait: Duration::from_micros(50),
+                },
+                trace_events: 256,
+                ..ServeConfig::default()
+            },
+        );
+        for k in 0..64u64 {
+            svc.put(k * 2 + 1, k);
+            assert_eq!(svc.get(k * 2 + 1), Some(k));
+        }
+        assert!(!svc.get_range(0, 50).is_empty());
+        svc.store().quiesce();
+
+        let rows = svc.stage_breakdown();
+        assert_eq!(rows.len(), 2);
+        let count = |stage: Stage| {
+            rows.iter()
+                .map(|row| row[stage.index()].count())
+                .sum::<u64>()
+        };
+        // Every admission entry got exactly one admission-wait sample.
+        assert_eq!(count(Stage::AdmissionWait), svc.stats().requests);
+        assert!(count(Stage::Commit) > 0);
+        assert!(count(Stage::Writeback) > 0);
+        assert!(
+            count(Stage::Merge) > 0,
+            "threshold 4 under 64 puts must merge"
+        );
+        assert_eq!(count(Stage::RangeScan), 2);
+        // Reads went through the plan stage, the engine, or both.
+        assert!(count(Stage::Plan) + count(Stage::Engine) > 0);
+
+        let trace = svc.export_chrome_trace();
+        assert!(trace.contains("\"traceEvents\""));
+        assert!(trace.contains("batch_flush"));
+        assert!(trace.contains("merge_publish"));
+
+        let prom = svc.metrics_prometheus();
+        assert!(prom.contains("serve_requests"));
+        assert!(prom.contains("store_merges"));
+        let json = svc.metrics_json();
+        assert!(json.contains("serve_latency_ns"));
+        assert!(json.contains("store_merges"));
     }
 }

@@ -48,10 +48,9 @@
 use std::collections::VecDeque;
 use std::io;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
 
 use isi_core::backend::ShardBackend;
 use isi_core::epoch::EpochCell;
@@ -64,6 +63,7 @@ use isi_csb::CsbShard;
 use isi_durable::{self as durable, DiskFs, Fs, FsyncMode};
 use isi_hash::table::HashKey;
 use isi_hash::HashShard;
+use isi_obs::{Counter, Obs, SpanTimer, Stage, TraceKind};
 use isi_search::SortedShard;
 
 use crate::plan::BatchPlan;
@@ -252,17 +252,16 @@ struct WriteState {
     wal_seq: u64,
 }
 
-/// Per-shard merge accounting, behind its **own** mutex so that
-/// monitoring reads ([`ShardedStore::merges`] and friends) never wait
-/// behind a rebuild: a foreground merge holds the shard's write lock
-/// for its whole duration but touches this lock only for the final
-/// counter bump. Lock order where both are held: `write` before
-/// `merge_stats`.
-#[derive(Default)]
-struct MergeStats {
-    merges: u64,
-    bg_merges: u64,
-    merge_ns: LatencyHist,
+/// Per-shard merge counters, registered in the store's [`Obs`] so
+/// monitoring reads ([`ShardedStore::merges`] and friends) are
+/// lock-free snapshots that never wait behind a rebuild. Registration
+/// order is `bg_merges` before `merges` and every merge bumps
+/// `merges` first, so `bg_merges ≤ merges` holds in *every* snapshot
+/// (the registry's coherence contract). Merge wall latency lands in
+/// the shard's [`Stage::Merge`] histogram.
+struct MergeCounters {
+    merges: Counter,
+    bg_merges: Counter,
 }
 
 struct Shard {
@@ -272,8 +271,6 @@ struct Shard {
     /// Writers blocked on [`StoreConfig::max_delta`] wait here; the
     /// merger notifies after publishing a drained version.
     delta_space: Condvar,
-    /// Merge counters (see [`MergeStats`]).
-    merge_stats: Mutex<MergeStats>,
 }
 
 /// The background merger's work queue (guarded by `StoreInner::merge_q`).
@@ -296,28 +293,45 @@ struct MergeQueue {
 struct DurableState {
     fs: Arc<dyn Fs>,
     fsync: FsyncMode,
-    /// WAL records appended by the write path.
-    wal_records: AtomicU64,
+    /// WAL records appended by the write path. Registered *after*
+    /// `wal_syncs` and bumped *before* it, so `wal_syncs ≤
+    /// wal_records` holds in every registry snapshot.
+    wal_records: Counter,
     /// Write-path fsyncs issued (excludes merge-time snapshot syncs).
-    wal_syncs: AtomicU64,
+    wal_syncs: Counter,
 }
 
 impl DurableState {
     /// Append one record to `shard`'s WAL and fsync it per the mode
     /// (no sync in [`FsyncMode::Off`]). Caller holds the shard write
-    /// lock, which orders appends by sequence.
-    fn log_run(&self, shard: usize, seq: u64, ops: &[(u64, Option<u64>)]) {
+    /// lock, which orders appends by sequence. Append and fsync time
+    /// land in the shard's [`Stage::WalAppend`] / [`Stage::WalFsync`]
+    /// histograms; each fsync emits a [`TraceKind::WalSync`] event.
+    fn log_run(&self, obs: &Obs, shard: usize, seq: u64, ops: &[(u64, Option<u64>)]) {
         let name = durable::wal_name(shard);
         let rec = durable::encode_record(seq, ops);
+        let t = SpanTimer::start();
         self.fs
             .append(&name, &rec)
             .unwrap_or_else(|e| panic!("WAL append failed for shard {shard}: {e}"));
-        self.wal_records.fetch_add(1, Ordering::Relaxed);
+        obs.record_stage(shard, Stage::WalAppend, t.elapsed_ns());
+        self.wal_records.inc();
         if self.fsync != FsyncMode::Off {
+            let t = SpanTimer::start();
             self.fs
                 .sync(&name)
                 .unwrap_or_else(|e| panic!("WAL fsync failed for shard {shard}: {e}"));
-            self.wal_syncs.fetch_add(1, Ordering::Relaxed);
+            let dur = t.elapsed_ns();
+            obs.record_stage(shard, Stage::WalFsync, dur);
+            obs.trace().emit(
+                shard,
+                TraceKind::WalSync,
+                t.start_ns(),
+                dur,
+                ops.len() as u64,
+                0,
+            );
+            self.wal_syncs.inc();
         }
     }
 
@@ -367,6 +381,14 @@ struct StoreInner {
     merge_work: Condvar,
     /// [`ShardedStore::quiesce`] waits here for the queue to drain.
     merge_done: Condvar,
+    /// Store-side observability: `store_*` metrics, per-shard stage
+    /// histograms (plan/engine/range scan/WAL/merge) and trace rings.
+    /// Cumulative for the store's lifetime, like the counters it
+    /// replaced.
+    obs: Obs,
+    /// Per-shard merge counters registered in `obs` (see
+    /// [`MergeCounters`]).
+    merge_counters: Vec<MergeCounters>,
 }
 
 /// Reusable scratch for [`ShardedStore::lookup_batch`]: rank space for
@@ -508,7 +530,6 @@ impl ShardedStore {
                     delta: Delta::default(),
                 }),
                 write: Mutex::new(WriteState::default()),
-                merge_stats: Mutex::new(MergeStats::default()),
                 delta_space: Condvar::new(),
             })
             .collect();
@@ -569,7 +590,6 @@ impl ShardedStore {
                     pending: false,
                     wal_seq: rec.next_seq,
                 }),
-                merge_stats: Mutex::new(MergeStats::default()),
                 delta_space: Condvar::new(),
             });
         }
@@ -607,12 +627,29 @@ impl ShardedStore {
         fs: Option<Arc<dyn Fs>>,
     ) -> Self {
         let merge_mode = cfg.merge_mode;
-        let durable = fs.map(|fs| DurableState {
-            fsync: cfg.fsync,
-            fs,
-            wal_records: AtomicU64::new(0),
-            wal_syncs: AtomicU64::new(0),
+        let obs = Obs::new("store", shards.len());
+        // Coherent-snapshot registration order: the ≤ side of each
+        // invariant first (wal_syncs ≤ wal_records, bg_merges ≤
+        // merges); see the isi_obs registry docs.
+        let durable = fs.map(|fs| {
+            let wal_syncs = obs.registry().counter("store_wal_syncs", &[]);
+            let wal_records = obs.registry().counter("store_wal_records", &[]);
+            DurableState {
+                fsync: cfg.fsync,
+                fs,
+                wal_records,
+                wal_syncs,
+            }
         });
+        let merge_counters = (0..shards.len())
+            .map(|si| {
+                let shard = si.to_string();
+                let labels = [("shard", shard.as_str())];
+                let bg_merges = obs.registry().counter("store_bg_merges", &labels);
+                let merges = obs.registry().counter("store_merges", &labels);
+                MergeCounters { merges, bg_merges }
+            })
+            .collect();
         let inner = Arc::new(StoreInner {
             backend,
             shard_bits,
@@ -623,6 +660,8 @@ impl ShardedStore {
             merge_q: Mutex::new(MergeQueue::default()),
             merge_work: Condvar::new(),
             merge_done: Condvar::new(),
+            obs,
+            merge_counters,
         });
         let merger = (merge_mode == MergeMode::Background).then(|| {
             let inner = Arc::clone(&inner);
@@ -653,15 +692,25 @@ impl ShardedStore {
     /// Write-path durability counters: `(WAL records appended, WAL
     /// fsyncs issued)` since build. `(0, 0)` when durability is off —
     /// and under [`FsyncMode::Group`] the sync count per record is
-    /// what group commit amortizes.
+    /// what group commit amortizes. Read through one coherent registry
+    /// snapshot, so `syncs ≤ records` always (the old field-by-field
+    /// reads could observe the sync of a record they hadn't counted).
     pub fn wal_stats(&self) -> (u64, u64) {
-        match &self.inner.durable {
-            Some(d) => (
-                d.wal_records.load(Ordering::Relaxed),
-                d.wal_syncs.load(Ordering::Relaxed),
-            ),
-            None => (0, 0),
+        if self.inner.durable.is_none() {
+            return (0, 0);
         }
+        let snap = self.inner.obs.snapshot();
+        (
+            snap.counter_sum("store_wal_records"),
+            snap.counter_sum("store_wal_syncs"),
+        )
+    }
+
+    /// The store's observability bundle: `store_*` metrics, per-shard
+    /// stage histograms, and the store-side trace rings (merges, WAL
+    /// syncs, delta backpressure).
+    pub fn obs(&self) -> &Obs {
+        &self.inner.obs
     }
 
     /// Number of shards (a power of two).
@@ -697,22 +746,14 @@ impl ShardedStore {
 
     /// Merges performed since build, across all shards (both modes).
     pub fn merges(&self) -> u64 {
-        self.inner
-            .shards
-            .iter()
-            .map(|s| s.merge_stats.plock("shard merge stats").merges)
-            .sum()
+        self.inner.obs.snapshot().counter_sum("store_merges")
     }
 
     /// Merges performed by the background merger thread (≤
     /// [`merges`](Self::merges); the difference is foreground-mode
     /// inline merges).
     pub fn bg_merges(&self) -> u64 {
-        self.inner
-            .shards
-            .iter()
-            .map(|s| s.merge_stats.plock("shard merge stats").bg_merges)
-            .sum()
+        self.inner.obs.snapshot().counter_sum("store_bg_merges")
     }
 
     /// Merge jobs queued or in flight right now (a point-in-time
@@ -722,11 +763,12 @@ impl ShardedStore {
         q.queue.len() + q.in_flight as usize
     }
 
-    /// Merge wall-latency histogram (nanoseconds), across all shards.
+    /// Merge wall-latency histogram (nanoseconds), across all shards
+    /// (the union of the per-shard [`Stage::Merge`] histograms).
     pub fn merge_latency(&self) -> LatencyHist {
         let mut hist = LatencyHist::new();
-        for s in &self.inner.shards {
-            hist.merge(&s.merge_stats.plock("shard merge stats").merge_ns);
+        for si in 0..self.inner.shards.len() {
+            hist.merge(&self.inner.obs.stage_hist(si, Stage::Merge));
         }
         hist
     }
@@ -832,18 +874,27 @@ impl ShardedStore {
         let inner = &*self.inner;
         let shard = &inner.shards[si];
         let mut w = shard.write.plock("shard write state");
-        if inner.cfg.merge_mode == MergeMode::Background {
+        if inner.cfg.merge_mode == MergeMode::Background
+            && shard.version.load().delta.len() >= inner.cfg.max_delta
+        {
             // Hard bound: past max_delta this shard's writers wait for
             // the merger (which never needs this lock to make
             // progress... it does take it to publish, but we release
             // it while waiting on the condvar). A run may overshoot
             // the bound by its own length — bounded by the dispatcher
             // batch size.
+            let t = SpanTimer::start();
             while shard.version.load().delta.len() >= inner.cfg.max_delta {
                 w = shard
                     .delta_space
                     .pwait(w, "shard write state (delta backpressure)");
             }
+            let dur = t.elapsed_ns();
+            inner.obs.record_stage(si, Stage::Backpressure, dur);
+            inner
+                .obs
+                .trace()
+                .emit(si, TraceKind::Backpressure, t.start_ns(), dur, 1, 0);
         }
         let cur = shard.version.load();
         let mut delta = cur.delta.clone();
@@ -879,11 +930,11 @@ impl ShardedStore {
             if d.fsync == FsyncMode::On {
                 for op in &effective {
                     w.wal_seq += 1;
-                    d.log_run(si, w.wal_seq, std::slice::from_ref(op));
+                    d.log_run(&inner.obs, si, w.wal_seq, std::slice::from_ref(op));
                 }
             } else {
                 w.wal_seq += 1;
-                d.log_run(si, w.wal_seq, &effective);
+                d.log_run(&inner.obs, si, w.wal_seq, &effective);
             }
         }
         let crossed = delta.len() >= inner.cfg.merge_threshold;
@@ -907,7 +958,12 @@ impl ShardedStore {
                 // throughout, so only same-shard *writers* wait. The
                 // snapshot covers every record up to wal_seq, so the
                 // WAL truncates to empty.
-                let t0 = Instant::now();
+                let t0 = SpanTimer::start();
+                let folded = delta.len() as u64;
+                inner
+                    .obs
+                    .trace()
+                    .emit(si, TraceKind::MergeStart, t0.start_ns(), 0, folded, 0);
                 let merged = merge_pairs(&cur.main.pairs(), &delta.entries);
                 if let Some(d) = &inner.durable {
                     let tmp = d.stage_snapshot(si, w.wal_seq, &merged);
@@ -917,9 +973,13 @@ impl ShardedStore {
                     main: cur.main.rebuild(&merged),
                     delta: Delta::default(),
                 }));
-                let mut stats = shard.merge_stats.plock("shard merge stats");
-                stats.merges += 1;
-                stats.merge_ns.record(t0.elapsed().as_nanos() as u64);
+                let dur = t0.elapsed_ns();
+                inner.merge_counters[si].merges.inc();
+                inner.obs.record_stage(si, Stage::Merge, dur);
+                inner
+                    .obs
+                    .trace()
+                    .emit(si, TraceKind::MergePublish, t0.start_ns(), dur, folded, 0);
             }
             MergeMode::Foreground => {
                 shard.version.store(Arc::new(ShardVersion {
@@ -969,26 +1029,32 @@ impl ShardedStore {
             "batch contains keys routed to another shard"
         );
         let v = self.inner.shards[shard].version.load();
+        let obs = &self.inner.obs;
         if v.delta.is_empty() {
             // Every key is residual: probe straight into `out` without
             // a scatter pass.
+            let t = SpanTimer::start();
             let engine = v
                 .main
                 .probe_batch(keys, policy, par, &mut scratch.ranks, out);
+            obs.record_stage(shard, Stage::Engine, t.elapsed_ns());
             return BatchOutcome {
                 engine,
                 delta_hits: 0,
                 residual: keys.len() as u64,
             };
         }
+        let t = SpanTimer::start();
         scratch.plan.resolve(&v.delta.entries, keys);
         for &(i, res) in &scratch.plan.decided {
             out[i as usize] = res;
         }
+        obs.record_stage(shard, Stage::Plan, t.elapsed_ns());
         let residual = scratch.plan.residual();
         let engine = if residual == 0 {
             RunStats::default()
         } else {
+            let t = SpanTimer::start();
             scratch.residual_out.clear();
             scratch.residual_out.resize(residual as usize, None);
             let engine = v.main.probe_batch(
@@ -1006,6 +1072,7 @@ impl ShardedStore {
             {
                 out[i as usize] = r;
             }
+            obs.record_stage(shard, Stage::Engine, t.elapsed_ns());
             engine
         };
         BatchOutcome {
@@ -1024,16 +1091,22 @@ impl ShardedStore {
         if lo > hi {
             return Vec::new();
         }
+        let t = SpanTimer::start();
         let v = self.inner.shards[shard].version.load();
         let mut main = Vec::new();
         v.main.scan_range(lo, hi, &mut main);
-        if v.delta.is_empty() {
-            return main;
-        }
-        let d = &v.delta.entries;
-        let a = d.partition_point(|e| e.0 < lo);
-        let b = d.partition_point(|e| e.0 <= hi);
-        merge_pairs(&main, &d[a..b])
+        let out = if v.delta.is_empty() {
+            main
+        } else {
+            let d = &v.delta.entries;
+            let a = d.partition_point(|e| e.0 < lo);
+            let b = d.partition_point(|e| e.0 <= hi);
+            merge_pairs(&main, &d[a..b])
+        };
+        self.inner
+            .obs
+            .record_stage(shard, Stage::RangeScan, t.elapsed_ns());
+        out
     }
 
     /// All live pairs with `lo <= key <= hi` across every shard, in
@@ -1106,7 +1179,7 @@ impl StoreInner {
     /// truncated down to the residual.
     fn merge_shard(&self, si: usize) {
         let shard = &self.shards[si];
-        let t0 = Instant::now();
+        let t0 = SpanTimer::start();
         // Snapshot outside the write lock: the rebuild is the long
         // part, and writers must keep landing in the delta meanwhile.
         // The brief lock pins (version, wal_seq) to a consistent cut —
@@ -1125,6 +1198,14 @@ impl StoreInner {
             shard.delta_space.notify_all();
             return;
         }
+        self.obs.trace().emit(
+            si,
+            TraceKind::MergeStart,
+            t0.start_ns(),
+            0,
+            v0.delta.len() as u64,
+            0,
+        );
         let merged = merge_pairs(&v0.main.pairs(), &v0.delta.entries);
         let main = v0.main.rebuild(&merged);
         // The bulky snapshot serialization also runs outside the write
@@ -1155,16 +1236,25 @@ impl StoreInner {
             d.commit_and_truncate(si, seq0, tmp, w.wal_seq, &residual);
         }
         let rekick = residual.len() >= self.cfg.merge_threshold;
+        let residual_len = residual.len() as u64;
         shard.version.store(Arc::new(ShardVersion {
             main,
             delta: Delta { entries: residual },
         }));
-        {
-            let mut stats = shard.merge_stats.plock("shard merge stats");
-            stats.merges += 1;
-            stats.bg_merges += 1;
-            stats.merge_ns.record(t0.elapsed().as_nanos() as u64);
-        }
+        // `merges` before `bg_merges`: with bg_merges registered
+        // first, every snapshot sees bg_merges ≤ merges.
+        self.merge_counters[si].merges.inc();
+        self.merge_counters[si].bg_merges.inc();
+        let dur = t0.elapsed_ns();
+        self.obs.record_stage(si, Stage::Merge, dur);
+        self.obs.trace().emit(
+            si,
+            TraceKind::MergePublish,
+            t0.start_ns(),
+            dur,
+            v0.delta.len() as u64,
+            residual_len,
+        );
         if rekick {
             // Still over threshold (writers were busy): merge again.
             // `pending` stays true to keep gating duplicate enqueues.

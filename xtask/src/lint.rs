@@ -26,6 +26,13 @@
 //!   never bare `.lock().unwrap()` — the helpers turn a poisoned lock
 //!   into a tagged panic that names the protocol instead of an opaque
 //!   `PoisonError`.
+//! * **R5 — no ad-hoc stat atomics in serve.** `crates/serve` must
+//!   not use `AtomicU64` directly: counters register through the
+//!   `isi_obs` registry, whose registration-order snapshot contract
+//!   is what keeps cross-counter invariants (`wal_syncs ≤
+//!   wal_records`, flushes ≤ batches) coherent. A bare atomic field
+//!   is invisible to snapshots and reintroduces the skew the registry
+//!   exists to prevent.
 //!
 //! Rules operate on an in-memory `(path, content)` list so the unit
 //! tests below can prove each rule fires on a seeded violation, not
@@ -49,6 +56,7 @@ const UNSAFE_ALLOWLIST: &[&str] = &[
     "crates/core/src/stats.rs",
     "crates/core/tests/alloc_steady.rs",
     "crates/csb/src/lookup.rs",
+    "crates/obs/tests/alloc_disabled.rs",
     "crates/hash/src/probe.rs",
     "crates/search/src/par.rs",
 ];
@@ -122,6 +130,7 @@ fn check_files(files: &[(String, String)]) -> Vec<Violation> {
         check_unsafe_rules(path, content, files, &mut out);
         check_schema_registry(path, content, &mut out);
         check_serve_locks(path, content, &mut out);
+        check_serve_stat_atomics(path, content, &mut out);
     }
     out
 }
@@ -463,6 +472,47 @@ fn check_serve_locks(path: &str, content: &str, out: &mut Vec<Violation>) {
     }
 }
 
+// ---- R5: no ad-hoc stat atomics in serve ----
+
+/// Does `line` contain `AtomicU64` as a standalone token?
+fn has_atomic_u64_token(line: &str) -> bool {
+    let bytes = line.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = line[from..].find("AtomicU64") {
+        let start = from + pos;
+        let end = start + "AtomicU64".len();
+        let pre_ok =
+            start == 0 || !(bytes[start - 1].is_ascii_alphanumeric() || bytes[start - 1] == b'_');
+        let post_ok =
+            end >= bytes.len() || !(bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_');
+        if pre_ok && post_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+fn check_serve_stat_atomics(path: &str, content: &str, out: &mut Vec<Violation>) {
+    if !path.starts_with("crates/serve/") {
+        return;
+    }
+    let code = sanitize(content, true);
+    for (idx, line) in code.lines().enumerate() {
+        if has_atomic_u64_token(line) {
+            out.push(Violation {
+                path: path.to_string(),
+                line: idx + 1,
+                rule: "serve-obs-registry",
+                msg: "bare AtomicU64 in crates/serve; register a Counter/Gauge/Hist through \
+                      the isi_obs registry instead, so snapshots keep cross-counter \
+                      invariants coherent"
+                    .to_string(),
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -649,6 +699,36 @@ mod tests {
             "crates/core/src/par.rs",
             "fn f(m: &std::sync::Mutex<u32>) -> u32 { *m.lock().unwrap() }\n",
         )]);
+        assert!(check_files(&fs).is_empty());
+    }
+
+    #[test]
+    fn atomic_u64_in_serve_fires() {
+        let fs = files(&[(
+            "crates/serve/src/service.rs",
+            "use std::sync::atomic::AtomicU64;\nstruct S { hits: AtomicU64 }\n",
+        )]);
+        let v = check_files(&fs);
+        let fired = rules_fired(&v);
+        assert!(fired.contains(&"serve-obs-registry"), "{fired:?}");
+        assert_eq!(
+            v.iter().filter(|x| x.rule == "serve-obs-registry").count(),
+            2
+        );
+    }
+
+    #[test]
+    fn atomic_u64_outside_serve_allowed() {
+        let fs = files(&[
+            (
+                "crates/core/src/stats.rs",
+                "// SAFETY-free file\nuse std::sync::atomic::AtomicU64;\nstatic N: AtomicU64 = AtomicU64::new(0);\n",
+            ),
+            (
+                "crates/serve/src/store.rs",
+                "// AtomicU64 in a comment is fine\nconst X: &str = \"AtomicU64\";\nuse std::sync::atomic::AtomicU32 as _;\n",
+            ),
+        ]);
         assert!(check_files(&fs).is_empty());
     }
 
