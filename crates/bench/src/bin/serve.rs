@@ -7,14 +7,16 @@
 //! machine-readable `BENCH_serve.json` (schema `isi-serve/v1`).
 //!
 //! `--mixed` instead sweeps {backend} × {shard count} × {write
-//! fraction} over the **writable** store — closed-loop clients whose
-//! op streams mix `get`/`put`/`remove`/`get_range` — and writes
-//! `BENCH_serve_mixed.json` (schema `isi-serve-mixed/v4`), including
-//! merge counts (background vs foreground), merge latency, plan-stage
-//! delta hits / residual fraction, range-scan counts, hot-key-cache
-//! hits and — with `--wal on` — WAL record/fsync counts plus the
-//! timed crash recovery each cell runs at teardown. Both binaries'
-//! documents self-verify before exiting.
+//! fraction} × {merge threshold} over the **writable** store —
+//! closed-loop clients whose op streams mix
+//! `get`/`put`/`remove`/`get_range` — and writes
+//! `BENCH_serve_mixed.json` (schema `isi-serve-mixed/v5`), including
+//! merge counts (background vs foreground), merge latency, published
+//! delta runs and stack compactions, plan-stage delta hits / residual
+//! fraction, range-scan counts, hot-key-cache hits and — with `--wal
+//! on` — WAL record/fsync counts plus the timed crash recovery each
+//! cell runs at teardown. Both binaries' documents self-verify before
+//! exiting.
 //!
 //! ```text
 //! serve [--smoke] [--out PATH]        run the read-only sweep
@@ -26,7 +28,9 @@
 //! Knobs (apply on top of the chosen preset): `--keys N`,
 //! `--clients N`, `--requests N` (per client), `--shards a,b,..`,
 //! `--rate RPS` (open-loop offered load, read-only sweep),
-//! `--group N`, `--threshold N` (delta merge threshold, mixed sweep),
+//! `--group N`, `--threshold N` (pin the merge-threshold axis to one
+//! value, mixed sweep), `--write-frac F` (pin the write-fraction axis
+//! to one value in [0, 1], mixed sweep),
 //! `--cache N` (hot-key cache slots, mixed sweep), `--range F`
 //! (range-scan fraction in [0, 1], mixed sweep), `--bg-merge on|off`
 //! (background merger vs inline write-path merges, mixed sweep),
@@ -129,7 +133,16 @@ fn main() {
             }
             "--threshold" => {
                 mixed_only_flags.push("--threshold");
-                mixed_cfg.merge_threshold = parse_usize(&value("--threshold"), "--threshold");
+                mixed_cfg.merge_thresholds =
+                    vec![parse_usize(&value("--threshold"), "--threshold")];
+            }
+            "--write-frac" => {
+                mixed_only_flags.push("--write-frac");
+                mixed_cfg.write_fractions = vec![value("--write-frac")
+                    .parse()
+                    .ok()
+                    .filter(|&v: &f64| (0.0..=1.0).contains(&v))
+                    .unwrap_or_else(|| fail("bad --write-frac (need fraction in [0, 1])"))];
             }
             "--cache" => {
                 mixed_only_flags.push("--cache");
@@ -226,7 +239,7 @@ fn main() {
 
     let doc = if mixed {
         println!(
-            "# mixed serve sweep: backends={:?} shards={:?} write-fractions={:?} range-fraction={} keys={} clients={} reqs/client={} threshold={} cache={} bg-merge={} wal={} obs={}",
+            "# mixed serve sweep: backends={:?} shards={:?} write-fractions={:?} range-fraction={} keys={} clients={} reqs/client={} thresholds={:?} cache={} bg-merge={} wal={} obs={}",
             mixed_cfg.backends.iter().map(|b| b.name()).collect::<Vec<_>>(),
             mixed_cfg.shard_counts,
             mixed_cfg.write_fractions,
@@ -234,7 +247,7 @@ fn main() {
             mixed_cfg.store_keys,
             mixed_cfg.clients,
             mixed_cfg.requests_per_client,
-            mixed_cfg.merge_threshold,
+            mixed_cfg.merge_thresholds,
             mixed_cfg.hot_cache_slots,
             mixed_cfg.bg_merge,
             mixed_cfg.wal,
@@ -242,15 +255,18 @@ fn main() {
         );
         let cells = run_mixed_sweep(&mixed_cfg, |c| {
             println!(
-                "{:>6} shards={:<2} writes={:<4} {:>10.0} op/s  p50={:<9} p99={:<9} merges={:<4} bg={:<4} scans={:<4} resid={:.3} delta={:<5} cache_hits={}",
+                "{:>6} shards={:<2} writes={:<4} thr={:<5} {:>10.0} op/s  p50={:<9} p99={:<9} merges={:<4} bg={:<4} runs={:<5} folds={:<4} scans={:<4} resid={:.3} delta={:<5} cache_hits={}",
                 c.backend.name(),
                 c.shards,
                 format!("{}%", (c.write_fraction * 100.0).round()),
+                c.merge_threshold,
                 c.throughput_rps,
                 format!("{}ns", c.p50_ns),
                 format!("{}ns", c.p99_ns),
                 c.merges,
                 c.bg_merges,
+                c.delta_runs,
+                c.compactions,
                 c.range_scans,
                 c.residual_frac,
                 c.delta_keys,

@@ -24,8 +24,12 @@ pub const SERVE: &str = "isi-serve/v1";
 /// WAL mode, fsync mode, record/sync counts, recovery time; v4 added
 /// the observability columns: `config.obs`, per-cell end-to-end
 /// latency sums, per-shard per-stage latency rows and the
-/// chrome-trace event count).
-pub const SERVE_MIXED: &str = "isi-serve-mixed/v4";
+/// chrome-trace event count; v5 added the merge-threshold sweep axis
+/// — `config.merge_thresholds` replaces the scalar
+/// `config.merge_threshold`, each cell records its `merge_threshold`
+/// — plus the run-stack columns `runs` (immutable delta runs
+/// published) and `compactions` (stack folds past `max_runs`)).
+pub const SERVE_MIXED: &str = "isi-serve-mixed/v5";
 
 #[cfg(test)]
 mod tests {

@@ -20,14 +20,20 @@
 //! not just engine time.
 //!
 //! A second, **mixed read/write** sweep (`--mixed`, schema
-//! `isi-serve-mixed/v4`) drives closed-loop clients whose operation
+//! `isi-serve-mixed/v5`) drives closed-loop clients whose operation
 //! streams contain a configurable write fraction (puts + removes) and
 //! range-scan fraction (`get_range` over a fixed key span) against a
 //! writable store, with merges on the background merger thread by
-//! default (`bg_merge`, toggleable to foreground for A/B runs). Cells
-//! record merge counts and latency, background-merge counts, residual
-//! delta size, plan-stage delta hits and residual fraction, and
-//! hot-key-cache hits alongside the usual throughput/latency columns.
+//! default (`bg_merge`, toggleable to foreground for A/B runs). The
+//! sweep has a **merge-threshold axis** (`merge_thresholds`): the
+//! run-stack delta keeps write cost O(run log run) regardless of how
+//! many entries the delta holds, so a large threshold (rare merges,
+//! deep delta) should cost write throughput almost nothing — the
+//! axis is the regression sentinel for that claim. Cells record merge
+//! counts and latency, background-merge counts, published delta runs
+//! and stack compactions, residual delta size, plan-stage delta hits
+//! and residual fraction, and hot-key-cache hits alongside the usual
+//! throughput/latency columns.
 //! With the observability layer on (`--obs`) each cell additionally
 //! captures the service's per-shard per-stage latency breakdown
 //! ([`LookupService::stage_breakdown`]), the end-to-end latency sum
@@ -539,8 +545,11 @@ pub struct MixedBenchCfg {
     /// tracing disabled, which is the configuration the committed
     /// baseline's throughput numbers are measured in.
     pub obs: bool,
-    /// Per-shard delta entries that trigger a merge.
-    pub merge_threshold: usize,
+    /// Merge thresholds (per-shard delta entries that trigger a
+    /// merge) to sweep: every cell grid point runs once per
+    /// threshold. A large threshold stresses the deep-delta write
+    /// path the run-stack exists for.
+    pub merge_thresholds: Vec<usize>,
     /// Per-shard hot-key cache slots (0 disables).
     pub hot_cache_slots: usize,
     /// Flush policy for every cell.
@@ -567,9 +576,12 @@ impl MixedBenchCfg {
             bg_merge: true,
             wal: false,
             obs: false,
-            // 16k ops across 2 shards: 1% writes stay delta-resident,
-            // 10% merge about once per shard, 50% merge repeatedly.
-            merge_threshold: 512,
+            // 16k ops across 2 shards: at threshold 512, 1% writes
+            // stay delta-resident, 10% merge about once per shard,
+            // 50% merge repeatedly. Threshold 4096 barely merges at
+            // all — the deep-delta cell whose write throughput the
+            // run-stack keeps within a whisker of the shallow one.
+            merge_thresholds: vec![512, 4096],
             hot_cache_slots: 64,
             policy: PolicySpec {
                 max_batch: 64,
@@ -598,7 +610,7 @@ impl MixedBenchCfg {
             obs: false,
             // ~10% of 1024 ops are writes across 2 shards: low enough
             // a threshold of 24 forces real merges in the smoke cell.
-            merge_threshold: 24,
+            merge_thresholds: vec![24],
             hot_cache_slots: 32,
             policy: PolicySpec {
                 max_batch: 16,
@@ -641,6 +653,8 @@ pub struct MixedCell {
     pub shards: usize,
     /// Write fraction this cell targeted.
     pub write_fraction: f64,
+    /// Merge threshold this cell ran with.
+    pub merge_threshold: usize,
     /// Client operations issued (gets incl. cache hits + puts +
     /// removes + range scans).
     pub requests: u64,
@@ -681,6 +695,11 @@ pub struct MixedCell {
     /// Merges performed by the background merger thread (= `merges`
     /// with `bg_merge` on, 0 with it off).
     pub bg_merges: u64,
+    /// Immutable delta runs published by the write path (one per
+    /// dispatched per-shard write sub-run; ≤ `puts + removes`).
+    pub delta_runs: u64,
+    /// Run-stack folds past `max_runs` (≤ `delta_runs`).
+    pub compactions: u64,
     /// Median merge wall latency, nanoseconds (0 when no merge ran).
     pub merge_p50_ns: u64,
     /// Residual delta entries when the cell finished (post-quiesce).
@@ -729,20 +748,22 @@ pub fn measure_mixed_cell(
     backend: Backend,
     shards: usize,
     write_fraction: f64,
+    merge_threshold: usize,
     cfg: &MixedBenchCfg,
 ) -> MixedCell {
     let pairs: Vec<(u64, u64)> = (0..cfg.store_keys as u64).map(|i| (i * 2, i)).collect();
-    let mut store_cfg = StoreConfig::with_threshold(cfg.merge_threshold);
+    let mut store_cfg = StoreConfig::with_threshold(merge_threshold);
     if !cfg.bg_merge {
         store_cfg = store_cfg.foreground();
     }
     let wal_dir = cfg.wal.then(|| {
         std::env::temp_dir().join(format!(
-            "isi-bench-wal-{}-{}-{}-{}",
+            "isi-bench-wal-{}-{}-{}-{}-{}",
             std::process::id(),
             backend.name(),
             shards,
-            (write_fraction * 1e6) as u64
+            (write_fraction * 1e6) as u64,
+            merge_threshold
         ))
     });
     if let Some(dir) = &wal_dir {
@@ -862,6 +883,7 @@ pub fn measure_mixed_cell(
         backend,
         shards,
         write_fraction,
+        merge_threshold,
         requests,
         gets,
         puts,
@@ -881,6 +903,8 @@ pub fn measure_mixed_cell(
         mean_batch: stats.mean_batch(),
         merges: stats.merges,
         bg_merges: stats.bg_merges,
+        delta_runs: stats.delta_runs,
+        compactions: stats.compactions,
         merge_p50_ns: stats.merge_latency.p50(),
         delta_keys: stats.delta_keys,
         wal_records: stats.wal_records,
@@ -903,16 +927,18 @@ pub fn run_mixed_sweep(
     for &backend in &cfg.backends {
         for &shards in &cfg.shard_counts {
             for &wf in &cfg.write_fractions {
-                let cell = measure_mixed_cell(backend, shards, wf, cfg);
-                progress(&cell);
-                cells.push(cell);
+                for &threshold in &cfg.merge_thresholds {
+                    let cell = measure_mixed_cell(backend, shards, wf, threshold, cfg);
+                    progress(&cell);
+                    cells.push(cell);
+                }
             }
         }
     }
     cells
 }
 
-/// Serialize a finished mixed sweep to the `isi-serve-mixed/v4`
+/// Serialize a finished mixed sweep to the `isi-serve-mixed/v5`
 /// document.
 pub fn to_mixed_json(cfg: &MixedBenchCfg, cells: &[MixedCell]) -> Json {
     let results: Vec<Json> = cells
@@ -937,6 +963,7 @@ pub fn to_mixed_json(cfg: &MixedBenchCfg, cells: &[MixedCell]) -> Json {
                 ("backend", str(c.backend.name())),
                 ("shards", num(c.shards as f64)),
                 ("write_fraction", num(c.write_fraction)),
+                ("merge_threshold", num(c.merge_threshold as f64)),
                 ("requests", num(c.requests as f64)),
                 ("gets", num(c.gets as f64)),
                 ("puts", num(c.puts as f64)),
@@ -959,6 +986,8 @@ pub fn to_mixed_json(cfg: &MixedBenchCfg, cells: &[MixedCell]) -> Json {
                 ("mean_batch", num((c.mean_batch * 100.0).round() / 100.0)),
                 ("merges", num(c.merges as f64)),
                 ("bg_merges", num(c.bg_merges as f64)),
+                ("runs", num(c.delta_runs as f64)),
+                ("compactions", num(c.compactions as f64)),
                 ("merge_p50_ns", num(c.merge_p50_ns as f64)),
                 ("delta_keys", num(c.delta_keys as f64)),
                 ("wal_records", num(c.wal_records as f64)),
@@ -1016,7 +1045,15 @@ pub fn to_mixed_json(cfg: &MixedBenchCfg, cells: &[MixedCell]) -> Json {
                     }),
                 ),
                 ("obs", Json::Bool(cfg.obs)),
-                ("merge_threshold", num(cfg.merge_threshold as f64)),
+                (
+                    "merge_thresholds",
+                    Json::Arr(
+                        cfg.merge_thresholds
+                            .iter()
+                            .map(|&t| num(t as f64))
+                            .collect(),
+                    ),
+                ),
                 ("hot_cache_slots", num(cfg.hot_cache_slots as f64)),
                 (
                     "policy",
@@ -1034,11 +1071,14 @@ pub fn to_mixed_json(cfg: &MixedBenchCfg, cells: &[MixedCell]) -> Json {
 }
 
 /// Validate a mixed-sweep document: schema tag, exactly one cell per
-/// `backend × shard count × write fraction` the config declares, full
-/// op coverage (gets + puts + removes + range scans), coherent
-/// op/merge/plan counters (background-merge accounting must match the
-/// config's `bg_merge`, `residual_frac` must be a fraction) and
-/// monotone latency quantiles.
+/// `backend × shard count × write fraction × merge threshold` the
+/// config declares, full op coverage (gets + puts + removes + range
+/// scans), coherent op/merge/plan counters (background-merge
+/// accounting must match the config's `bg_merge`, `residual_frac`
+/// must be a fraction), coherent run-stack counters (`compactions ≤
+/// runs ≤ puts + removes` — every published run carries at least one
+/// effective write, and a compaction only ever follows a run push)
+/// and monotone latency quantiles.
 ///
 /// v4 observability checks, per cell: with `config.obs` **off** the
 /// stage breakdown must be empty and the trace export zero; with it
@@ -1083,7 +1123,18 @@ pub fn verify_mixed(doc: &Json) -> Result<(), String> {
         .iter()
         .map(|v| v.as_f64().ok_or("non-numeric write fraction"))
         .collect::<Result<_, _>>()?;
-    if backends.is_empty() || shard_counts.is_empty() || fractions.is_empty() {
+    let thresholds: Vec<usize> = config
+        .get("merge_thresholds")
+        .and_then(Json::as_arr)
+        .ok_or("missing config.merge_thresholds")?
+        .iter()
+        .map(|v| v.as_usize().ok_or("non-integer merge threshold"))
+        .collect::<Result<_, _>>()?;
+    if backends.is_empty()
+        || shard_counts.is_empty()
+        || fractions.is_empty()
+        || thresholds.is_empty()
+    {
         return Err("empty sweep axes".into());
     }
     for &f in &fractions {
@@ -1138,111 +1189,135 @@ pub fn verify_mixed(doc: &Json) -> Result<(), String> {
     for &b in &backends {
         for &s in &shard_counts {
             for &f in &fractions {
-                let matching: Vec<&Json> = results
-                    .iter()
-                    .filter(|c| {
-                        c.get("backend").and_then(Json::as_str) == Some(b)
-                            && c.get("shards").and_then(Json::as_usize) == Some(s)
-                            && c.get("write_fraction")
-                                .and_then(Json::as_f64)
-                                .is_some_and(|cf| (cf - f).abs() < 1e-9)
-                    })
-                    .collect();
-                let cell_name = format!("{b}/shards={s}/writes={f}");
-                if matching.len() != 1 {
-                    return Err(format!(
-                        "expected exactly 1 cell for {cell_name}, found {}",
-                        matching.len()
-                    ));
-                }
-                let cell = matching[0];
-                let count = |key: &str| cell.get(key).and_then(Json::as_f64).unwrap_or(-1.0);
-                let rate = count("throughput_rps");
-                if !(rate.is_finite() && rate > 0.0) {
-                    return Err(format!("non-positive throughput for {cell_name}"));
-                }
-                let (gets, puts, removes, range_scans) = (
-                    count("gets"),
-                    count("puts"),
-                    count("removes"),
-                    count("range_scans"),
-                );
-                if count("requests") != expected_requests as f64
-                    || gets + puts + removes + range_scans != expected_requests as f64
-                {
-                    return Err(format!(
-                        "cell {cell_name} did not answer all {expected_requests} requests"
-                    ));
-                }
-                if f == 0.0 && (puts != 0.0 || removes != 0.0 || count("merges") != 0.0) {
-                    return Err(format!(
-                        "read-only cell {cell_name} recorded writes or merges"
-                    ));
-                }
-                if range_fraction > 0.0 && f < 1.0 && range_scans == 0.0 {
-                    return Err(format!(
-                        "cell {cell_name} ran no range scans despite range_fraction > 0"
-                    ));
-                }
-                if count("hits") > gets || count("cache_hits") > gets {
-                    return Err(format!("cell {cell_name} hit counters exceed reads"));
-                }
-                let (merges, bg_merges) = (count("merges"), count("bg_merges"));
-                if bg_merge && bg_merges != merges {
-                    return Err(format!(
-                        "cell {cell_name}: background mode but bg_merges ({bg_merges}) != \
+                for &t in &thresholds {
+                    let matching: Vec<&Json> = results
+                        .iter()
+                        .filter(|c| {
+                            c.get("backend").and_then(Json::as_str) == Some(b)
+                                && c.get("shards").and_then(Json::as_usize) == Some(s)
+                                && c.get("write_fraction")
+                                    .and_then(Json::as_f64)
+                                    .is_some_and(|cf| (cf - f).abs() < 1e-9)
+                                && c.get("merge_threshold").and_then(Json::as_usize) == Some(t)
+                        })
+                        .collect();
+                    let cell_name = format!("{b}/shards={s}/writes={f}/threshold={t}");
+                    if matching.len() != 1 {
+                        return Err(format!(
+                            "expected exactly 1 cell for {cell_name}, found {}",
+                            matching.len()
+                        ));
+                    }
+                    let cell = matching[0];
+                    let count = |key: &str| cell.get(key).and_then(Json::as_f64).unwrap_or(-1.0);
+                    let rate = count("throughput_rps");
+                    if !(rate.is_finite() && rate > 0.0) {
+                        return Err(format!("non-positive throughput for {cell_name}"));
+                    }
+                    let (gets, puts, removes, range_scans) = (
+                        count("gets"),
+                        count("puts"),
+                        count("removes"),
+                        count("range_scans"),
+                    );
+                    if count("requests") != expected_requests as f64
+                        || gets + puts + removes + range_scans != expected_requests as f64
+                    {
+                        return Err(format!(
+                            "cell {cell_name} did not answer all {expected_requests} requests"
+                        ));
+                    }
+                    if f == 0.0
+                        && (puts != 0.0
+                            || removes != 0.0
+                            || count("merges") != 0.0
+                            || count("runs") != 0.0
+                            || count("compactions") != 0.0)
+                    {
+                        return Err(format!(
+                            "read-only cell {cell_name} recorded writes, merges or delta runs"
+                        ));
+                    }
+                    // Run-stack coherence: every published run carries at
+                    // least one effective write, and a stack compaction
+                    // only ever follows a run push.
+                    let (runs, compactions) = (count("runs"), count("compactions"));
+                    if runs > puts + removes {
+                        return Err(format!(
+                            "cell {cell_name}: runs ({runs}) exceed writes ({})",
+                            puts + removes
+                        ));
+                    }
+                    if compactions > runs {
+                        return Err(format!(
+                            "cell {cell_name}: compactions ({compactions}) > runs ({runs})"
+                        ));
+                    }
+                    if range_fraction > 0.0 && f < 1.0 && range_scans == 0.0 {
+                        return Err(format!(
+                            "cell {cell_name} ran no range scans despite range_fraction > 0"
+                        ));
+                    }
+                    if count("hits") > gets || count("cache_hits") > gets {
+                        return Err(format!("cell {cell_name} hit counters exceed reads"));
+                    }
+                    let (merges, bg_merges) = (count("merges"), count("bg_merges"));
+                    if bg_merge && bg_merges != merges {
+                        return Err(format!(
+                            "cell {cell_name}: background mode but bg_merges ({bg_merges}) != \
                          merges ({merges})"
-                    ));
-                }
-                if !bg_merge && bg_merges != 0.0 {
-                    return Err(format!(
-                        "cell {cell_name}: foreground mode but bg_merges = {bg_merges}"
-                    ));
-                }
-                let rf = count("residual_frac");
-                if !(0.0..=1.0).contains(&rf) {
-                    return Err(format!(
-                        "cell {cell_name}: residual_frac {rf} outside [0, 1]"
-                    ));
-                }
-                let (wal_records, wal_syncs, recovery) = (
-                    count("wal_records"),
-                    count("wal_syncs"),
-                    count("recovery_ns"),
-                );
-                if wal {
-                    // Writes went through the log: records for every
-                    // write-bearing cell, group commit never syncing
-                    // more than once per record, and a timed recovery.
-                    if puts + removes > 0.0 && wal_records <= 0.0 {
-                        return Err(format!(
-                            "cell {cell_name}: wal on with writes but no WAL records"
                         ));
                     }
-                    if wal_syncs > wal_records {
+                    if !bg_merge && bg_merges != 0.0 {
                         return Err(format!(
-                            "cell {cell_name}: wal_syncs ({wal_syncs}) > wal_records \
+                            "cell {cell_name}: foreground mode but bg_merges = {bg_merges}"
+                        ));
+                    }
+                    let rf = count("residual_frac");
+                    if !(0.0..=1.0).contains(&rf) {
+                        return Err(format!(
+                            "cell {cell_name}: residual_frac {rf} outside [0, 1]"
+                        ));
+                    }
+                    let (wal_records, wal_syncs, recovery) = (
+                        count("wal_records"),
+                        count("wal_syncs"),
+                        count("recovery_ns"),
+                    );
+                    if wal {
+                        // Writes went through the log: records for every
+                        // write-bearing cell, group commit never syncing
+                        // more than once per record, and a timed recovery.
+                        if puts + removes > 0.0 && wal_records <= 0.0 {
+                            return Err(format!(
+                                "cell {cell_name}: wal on with writes but no WAL records"
+                            ));
+                        }
+                        if wal_syncs > wal_records {
+                            return Err(format!(
+                                "cell {cell_name}: wal_syncs ({wal_syncs}) > wal_records \
                              ({wal_records})"
-                        ));
-                    }
-                    if !(recovery.is_finite() && recovery > 0.0) {
+                            ));
+                        }
+                        if !(recovery.is_finite() && recovery > 0.0) {
+                            return Err(format!(
+                                "cell {cell_name}: wal on but no recovery time recorded"
+                            ));
+                        }
+                    } else if wal_records != 0.0 || wal_syncs != 0.0 || recovery != 0.0 {
                         return Err(format!(
-                            "cell {cell_name}: wal on but no recovery time recorded"
+                            "cell {cell_name}: wal off but durability counters are non-zero"
                         ));
                     }
-                } else if wal_records != 0.0 || wal_syncs != 0.0 || recovery != 0.0 {
-                    return Err(format!(
-                        "cell {cell_name}: wal off but durability counters are non-zero"
-                    ));
-                }
-                let (p50, p95, p99) = (count("p50_ns"), count("p95_ns"), count("p99_ns"));
-                if !(0.0 <= p50 && p50 <= p95 && p95 <= p99) {
-                    return Err(format!(
-                        "non-monotone latency quantiles for {cell_name}: \
+                    let (p50, p95, p99) = (count("p50_ns"), count("p95_ns"), count("p99_ns"));
+                    if !(0.0 <= p50 && p50 <= p95 && p95 <= p99) {
+                        return Err(format!(
+                            "non-monotone latency quantiles for {cell_name}: \
                          p50={p50} p95={p95} p99={p99}"
-                    ));
+                        ));
+                    }
+                    verify_cell_stages(cell, &cell_name, obs, s)?;
                 }
-                verify_cell_stages(cell, &cell_name, obs, s)?;
             }
         }
     }
@@ -1425,7 +1500,7 @@ mod tests {
             bg_merge: true,
             wal: false,
             obs: false,
-            merge_threshold: 16,
+            merge_thresholds: vec![16],
             hot_cache_slots: 16,
             policy: PolicySpec {
                 max_batch: 8,
@@ -1447,19 +1522,83 @@ mod tests {
             assert!(c.range_scans > 0);
             assert_eq!(c.bg_merges, c.merges);
             assert!((0.0..=1.0).contains(&c.residual_frac));
+            // Run-stack counters: a run per dispatched write sub-run,
+            // compactions only ever after a push.
+            assert!(c.delta_runs <= c.puts + c.removes);
+            assert!(c.compactions <= c.delta_runs);
             if c.write_fraction == 0.0 {
                 assert_eq!(c.puts + c.removes, 0);
                 assert_eq!(c.merges, 0);
+                assert_eq!(c.delta_runs, 0);
                 assert_eq!(c.delta_hits, 0);
             } else {
                 // A quarter of 128 ops are writes: with threshold 16
                 // at least one shard must have merged.
                 assert!(c.puts + c.removes > 0);
+                assert!(c.delta_runs > 0);
             }
         }
         let doc = to_mixed_json(&cfg, &cells);
         verify_mixed(&doc).expect("self-produced mixed document must verify");
         verify_any_text(&doc.to_pretty()).expect("round-trip verify via schema dispatch");
+    }
+
+    #[test]
+    fn mixed_sweep_sweeps_the_threshold_axis() {
+        let cfg = MixedBenchCfg {
+            backends: vec![Backend::Sorted],
+            shard_counts: vec![1],
+            write_fractions: vec![0.25],
+            // A merge-heavy cell and a never-merging deep-delta cell.
+            merge_thresholds: vec![8, 1 << 16],
+            ..tiny_mixed_cfg()
+        };
+        let cells = run_mixed_sweep(&cfg, |_| {});
+        assert_eq!(cells.len(), 2, "one cell per threshold");
+        assert_eq!(cells[0].merge_threshold, 8);
+        assert_eq!(cells[1].merge_threshold, 1 << 16);
+        assert!(cells[0].merges > 0, "threshold 8 must merge");
+        assert_eq!(cells[1].merges, 0, "threshold 64k must not merge");
+        // The deep delta stacks runs; the bounded stack keeps folding.
+        assert!(cells[1].delta_runs > 0);
+        let doc = to_mixed_json(&cfg, &cells);
+        verify_mixed(&doc).expect("threshold-axis document must verify");
+    }
+
+    #[test]
+    fn verify_mixed_rejects_incoherent_run_stack_columns() {
+        let cfg = tiny_mixed_cfg();
+        let cells = run_mixed_sweep(&cfg, |_| {});
+        let mut doc = to_mixed_json(&cfg, &cells);
+        // Claiming more compactions than writes must fail (the cells
+        // sweep 128 ops, so 10_000 exceeds any write count).
+        if let Json::Obj(fields) = &mut doc {
+            for (k, v) in fields.iter_mut() {
+                if k == "results" {
+                    if let Json::Arr(cells) = v {
+                        for cell in cells {
+                            let Json::Obj(cell) = cell else { continue };
+                            // Leave read-only cells alone: their own
+                            // zero-run check fires with a different
+                            // message.
+                            if cell
+                                .iter()
+                                .any(|(ck, cv)| ck == "write_fraction" && cv.as_f64() == Some(0.0))
+                            {
+                                continue;
+                            }
+                            for (ck, cv) in cell.iter_mut() {
+                                if ck == "compactions" {
+                                    *cv = num(10_000.0);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let err = verify_mixed(&doc).expect_err("compactions beyond writes");
+        assert!(err.contains("compactions"), "{err}");
     }
 
     #[test]

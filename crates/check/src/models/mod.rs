@@ -14,19 +14,22 @@
 //! |---|---|
 //! | [`epoch`] | `EpochCell` publish: snapshots never torn, epochs monotone |
 //! | [`merge`] | Main/Delta merge publish: a mid-rebuild write survives as residual delta |
+//! | [`runs`] | run-stack delta: compaction + identity-residual merge never lose the newest write |
 //! | [`cache`] | hot-key cache: invalidate-before-ack ⇒ no stale read after own-write ack |
 //! | [`queue`] | bounded admission queue: no lost wakeup / deadlock at backpressure |
 //! | [`wal`] | WAL group commit + snapshot-truncate: acked ⇒ durable, frontier monotone |
 //! | [`metrics`] | registry snapshot ordering: read ≤-side first ⇒ `syncs ≤ records` |
 //!
-//! [`epoch::torn_publish`], [`wal::truncate_before_snapshot_sync`] and
-//! [`metrics::snapshot_reads_records_first`] are **known-bad** models
-//! kept as calibration targets: the test suite asserts the explorer
-//! *finds* their violations and that the printed seeds replay them.
+//! [`epoch::torn_publish`], [`wal::truncate_before_snapshot_sync`],
+//! [`metrics::snapshot_reads_records_first`] and
+//! [`runs::oldest_run_wins`] are **known-bad** models kept as
+//! calibration targets: the test suite asserts the explorer *finds*
+//! their violations and that the printed seeds replay them.
 
 pub mod cache;
 pub mod epoch;
 pub mod merge;
 pub mod metrics;
 pub mod queue;
+pub mod runs;
 pub mod wal;

@@ -26,6 +26,37 @@ fn merge_never_loses_a_write() {
 }
 
 #[test]
+fn run_stack_never_loses_the_newest_write() {
+    let n = check(
+        "run-stack publish",
+        Config::default(),
+        models::runs::run_stack_preserves_newest,
+    );
+    assert!(n > 1, "model has no concurrency ({n} interleaving)");
+}
+
+/// Reading the run stack oldest-first must surface a stale value
+/// under some interleaving — and the seed must replay it.
+#[test]
+fn explorer_catches_oldest_run_wins() {
+    let outcome = explore(Config::default(), models::runs::oldest_run_wins);
+    let Outcome::Violation(v) = outcome else {
+        panic!("oldest-run-wins not caught: {outcome:?}");
+    };
+    assert!(
+        v.message.contains("lost the newest write"),
+        "unexpected violation: {}",
+        v.message
+    );
+    let replayed = replay(Config::default(), &v.seed, models::runs::oldest_run_wins)
+        .expect("replay seed did not reproduce the violation");
+    assert!(
+        replayed.contains("lost the newest write"),
+        "replay diverged: {replayed}"
+    );
+}
+
+#[test]
 fn cache_invalidate_before_ack_no_stale_reads() {
     let n = check(
         "cache invalidate-before-ack",

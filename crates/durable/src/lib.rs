@@ -61,8 +61,11 @@ pub enum FsyncMode {
     /// crash may lose acknowledged writes. Recovery still restores a
     /// consistent prefix (records are atomic).
     Off,
-    /// One record and one fsync **per operation** — the naive
-    /// durable mode, for A/B comparison against group commit.
+    /// One record **per operation** — op-granular replay and crash
+    /// tears, for A/B comparison against group commit. The records of
+    /// one write run are encoded in a single pass, appended together
+    /// and fsynced **once per run** (ack ⇒ durable is unchanged; only
+    /// the record granularity differs from [`Group`](Self::Group)).
     On,
     /// One record and one fsync **per dispatched write run** — group
     /// commit; batching amortizes the fsync exactly like it amortizes

@@ -12,8 +12,11 @@
 //!    is a **Main/Delta pair**: an immutable main behind the
 //!    [`ShardBackend`](isi_core::backend::ShardBackend) trait (sorted
 //!    column, CSB+-tree, or chained hash table — batched probes,
-//!    ordered range scans, merge-time rebuilds), plus a small
-//!    sorted-run delta of upserts and tombstones (last-write-wins).
+//!    ordered range scans, merge-time rebuilds), plus a small delta of
+//!    upserts and tombstones held as a **stack of immutable sorted
+//!    runs** — one run per dispatched write run, newest run wins,
+//!    folded into a single run past
+//!    [`StoreConfig::max_runs`](store::StoreConfig).
 //! 2. **Admit & batch** — a [`LookupService`](service::LookupService)
 //!    runs one dispatcher per shard; `get`/`put`/`remove` enqueue into
 //!    the owning shard's bounded admission queue (blocking when full —
@@ -114,4 +117,6 @@ pub use isi_durable::FsyncMode;
 pub use isi_obs::{Obs, Stage};
 pub use plan::BatchPlan;
 pub use service::{BatchPolicy, LookupService, ServeConfig, ServeStats};
-pub use store::{Backend, BatchOutcome, LookupScratch, MergeMode, ShardedStore, StoreConfig};
+pub use store::{
+    Backend, BatchOutcome, LookupScratch, MergeMode, ShardedStore, StoreConfig, WriteScratch,
+};

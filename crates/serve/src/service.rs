@@ -74,7 +74,7 @@ use isi_hash::table::HashKey;
 use isi_obs::{chrome_trace_json, Counter, Hist, Obs, SpanTimer, Stage, TraceKind, Value};
 use isi_search::autotune::group_for_density;
 
-use crate::store::{LookupScratch, ShardedStore};
+use crate::store::{LookupScratch, ShardedStore, WriteScratch};
 
 /// When a shard's dispatcher flushes its admission queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -357,8 +357,15 @@ pub struct ServeStats {
     pub merge_backlog: u64,
     /// Merge wall latency (nanoseconds).
     pub merge_latency: LatencyHist,
-    /// Current delta entries across all shards of the store.
+    /// Current delta entries across all shards of the store (run
+    /// lengths summed — an upper bound on distinct overridden keys).
     pub delta_keys: u64,
+    /// Delta runs the store's write path published since build (one
+    /// per effective shard sub-run of a write run).
+    pub delta_runs: u64,
+    /// Run-stack folds the write path performed past
+    /// `StoreConfig::max_runs` (≤ `delta_runs`).
+    pub compactions: u64,
     /// WAL records the store's write path appended (0 with durability
     /// off). Group commit packs a whole write run into one record.
     pub wal_records: u64,
@@ -710,6 +717,8 @@ impl LookupService {
             latency: snap.hist_merged("serve_latency_ns", |_| true),
             merges: store_snap.counter_sum("store_merges"),
             bg_merges: store_snap.counter_sum("store_bg_merges"),
+            delta_runs: store_snap.counter_sum("store_delta_runs"),
+            compactions: store_snap.counter_sum("store_compactions"),
             wal_records: store_snap.counter_sum("store_wal_records"),
             wal_syncs: store_snap.counter_sum("store_wal_syncs"),
             merge_backlog: self.store.merge_backlog() as u64,
@@ -849,6 +858,8 @@ struct DispatchBufs {
     write_idx: Vec<usize>,
     /// Previously visible value per op, filled by the store.
     write_prevs: Vec<Option<u64>>,
+    /// Per-shard grouping scratch for the store's write path.
+    write_scratch: WriteScratch,
 }
 
 /// The per-shard dispatcher: wait for work, flush on `max_batch` or
@@ -871,6 +882,7 @@ fn dispatch_loop(
         write_ops: Vec::with_capacity(cfg.batch.max_batch),
         write_idx: Vec::with_capacity(cfg.batch.max_batch),
         write_prevs: Vec::with_capacity(cfg.batch.max_batch),
+        write_scratch: WriteScratch::default(),
     };
     let mut q = state.q.plock("admission queue");
     loop {
@@ -1051,7 +1063,11 @@ fn execute_batch(
                         i += 1;
                     }
                     let wb_t = SpanTimer::start();
-                    store.apply_write_run(&bufs.write_ops, &mut bufs.write_prevs);
+                    store.apply_write_run_with(
+                        &bufs.write_ops,
+                        &mut bufs.write_prevs,
+                        &mut bufs.write_scratch,
+                    );
                     // Invalidate before fulfilling: a client whose
                     // write just acked must not then read a stale
                     // cached value.

@@ -10,8 +10,12 @@
 //!   **chained hash table** ([`isi_hash::HashShard`], Section 6 probe
 //!   coroutines) — probed in bulk through the morsel-parallel
 //!   interleaved engine and scanned in key order;
-//! * the **delta** is a small sorted run of `(key, Option<value>)`
-//!   overrides (`None` = tombstone) with last-write-wins semantics.
+//! * the **delta** is a small **stack of immutable sorted runs** of
+//!   `(key, Option<value>)` overrides (`None` = tombstone) with
+//!   last-write-wins semantics — each write run is sorted once and
+//!   pushed as one shared run, reads resolve newest-run-first, and
+//!   the stack folds into a single run past
+//!   [`StoreConfig::max_runs`].
 //!
 //! **Reads are planned.** A batch is first resolved against the delta
 //! into a [`BatchPlan`](crate::plan::BatchPlan): delta-decided keys
@@ -142,6 +146,11 @@ pub struct StoreConfig {
     pub max_delta: usize,
     /// Where merges run.
     pub merge_mode: MergeMode,
+    /// Published delta runs a shard may stack before the write path
+    /// folds them into one (the fold is amortized O(delta) total).
+    /// `1` restores a single always-folded run (every write pays the
+    /// fold); `usize::MAX` never folds outside merges. Must be ≥ 1.
+    pub max_runs: usize,
     /// Directory for the per-shard write-ahead logs and snapshots.
     /// `None` (the default) disables durability entirely — no WAL, no
     /// snapshots, no recovery, zero write-path I/O. `Some(dir)` makes
@@ -162,6 +171,7 @@ impl StoreConfig {
             merge_threshold,
             max_delta: merge_threshold.saturating_mul(4),
             merge_mode: MergeMode::Background,
+            max_runs: 8,
             wal_dir: None,
             fsync: FsyncMode::Group,
         }
@@ -170,6 +180,12 @@ impl StoreConfig {
     /// This configuration with merges forced inline on the write path.
     pub fn foreground(mut self) -> Self {
         self.merge_mode = MergeMode::Foreground;
+        self
+    }
+
+    /// This configuration with the given delta run-stack depth bound.
+    pub fn with_max_runs(mut self, max_runs: usize) -> Self {
+        self.max_runs = max_runs;
         self
     }
 
@@ -189,43 +205,112 @@ impl Default for StoreConfig {
     }
 }
 
-/// The append-friendly overlay: a sorted run of per-key overrides.
-/// `Some(v)` upserts the key to `v`; `None` is a tombstone. The run is
-/// small (bounded by `max_delta`), so writes clone it — that keeps
-/// every published [`ShardVersion`] immutable, which is what makes
-/// reader snapshots consistent without any read-side locking order.
+/// One immutable sorted run of per-key overrides: `Some(v)` upserts
+/// the key to `v`, `None` is a tombstone. Strictly sorted by key.
+type DeltaRun = Arc<[(u64, Option<u64>)]>;
+
+/// The append-friendly overlay: an immutable **run-stack** of sorted
+/// override runs, newest run last. Each dispatched write run is sorted
+/// once (last-write-wins within the run, O(run log run)) and pushed as
+/// one shared [`DeltaRun`]; publishing a new [`ShardVersion`] clones
+/// only the small `Vec` of `Arc` handles, never the entries — prior
+/// runs are shared, which is what kills the old per-write
+/// clone-the-whole-delta quadratic. Reads consult runs newest-first.
+/// When the stack exceeds [`StoreConfig::max_runs`] the write path
+/// folds it into a single run (amortized O(delta) total, not
+/// per-write).
 #[derive(Clone, Default)]
 struct Delta {
-    entries: Vec<(u64, Option<u64>)>,
+    /// Override runs, oldest first / newest last.
+    runs: Vec<DeltaRun>,
+    /// Sum of run lengths — an upper bound on distinct overridden
+    /// keys (a key rewritten in a newer run counts twice until a fold
+    /// collapses it). Threshold and backpressure checks use this
+    /// conservative count; folds and merges restore exactness.
+    entries: usize,
 }
 
 impl Delta {
     /// The override for `key`: `Some(Some(v))` = upserted to `v`,
     /// `Some(None)` = tombstoned, `None` = no override (fall through
-    /// to the main).
+    /// to the main). Newest run wins.
     fn get(&self, key: u64) -> Option<Option<u64>> {
-        self.entries
-            .binary_search_by_key(&key, |e| e.0)
-            .ok()
-            .map(|i| self.entries[i].1)
+        self.runs.iter().rev().find_map(|run| {
+            run.binary_search_by_key(&key, |e| e.0)
+                .ok()
+                .map(|i| run[i].1)
+        })
     }
 
-    /// Override `key` in place (last write wins). Only ever called on
-    /// a private clone — published deltas stay immutable.
-    fn upsert(&mut self, key: u64, val: Option<u64>) {
-        match self.entries.binary_search_by_key(&key, |e| e.0) {
-            Ok(i) => self.entries[i].1 = val,
-            Err(i) => self.entries.insert(i, (key, val)),
+    /// Wrap one already-sorted, duplicate-free run (empty input → the
+    /// empty delta). The count is exact by construction.
+    fn from_sorted(entries: Vec<(u64, Option<u64>)>) -> Self {
+        if entries.is_empty() {
+            return Self::default();
+        }
+        Self {
+            entries: entries.len(),
+            runs: vec![entries.into()],
         }
     }
 
-    /// Number of overrides (upserts + tombstones).
+    /// Cheap copy sharing every immutable run: O(runs) `Arc` handle
+    /// clones, never the entries. This is the write path's whole
+    /// point — the old clone-the-entries delta copied O(delta) pairs
+    /// per write run (quadratic over a write burst), and the xtask
+    /// lint (`serve-run-stack`) now rejects that shape outright.
+    fn share(&self) -> Self {
+        self.clone()
+    }
+
+    /// Push a freshly sorted run on top of the stack (newest).
+    fn push_run(&mut self, run: DeltaRun) {
+        self.entries += run.len();
+        self.runs.push(run);
+    }
+
+    /// Fold the whole stack into one sorted, duplicate-free run,
+    /// newest run winning each key. O(delta × runs) worst case; the
+    /// stack depth is bounded by [`StoreConfig::max_runs`].
+    fn fold(&self) -> Vec<(u64, Option<u64>)> {
+        let mut it = self.runs.iter();
+        let mut acc: Vec<(u64, Option<u64>)> = match it.next() {
+            Some(run) => run.to_vec(),
+            None => return Vec::new(),
+        };
+        for run in it {
+            acc = merge_overrides(run, &acc);
+        }
+        acc
+    }
+
+    /// Fold only the overrides with `lo <= key <= hi` (the range-scan
+    /// slice), newest run winning.
+    fn fold_range(&self, lo: u64, hi: u64) -> Vec<(u64, Option<u64>)> {
+        let mut acc: Vec<(u64, Option<u64>)> = Vec::new();
+        for run in &self.runs {
+            let a = run.partition_point(|e| e.0 < lo);
+            let b = run.partition_point(|e| e.0 <= hi);
+            if a == b {
+                continue;
+            }
+            acc = if acc.is_empty() {
+                run[a..b].to_vec()
+            } else {
+                merge_overrides(&run[a..b], &acc)
+            };
+        }
+        acc
+    }
+
+    /// Number of overrides (upserts + tombstones), counted per run —
+    /// an upper bound on distinct overridden keys.
     fn len(&self) -> usize {
-        self.entries.len()
+        self.entries
     }
 
     fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.runs.is_empty()
     }
 }
 
@@ -252,16 +337,25 @@ struct WriteState {
     wal_seq: u64,
 }
 
-/// Per-shard merge counters, registered in the store's [`Obs`] so
-/// monitoring reads ([`ShardedStore::merges`] and friends) are
-/// lock-free snapshots that never wait behind a rebuild. Registration
-/// order is `bg_merges` before `merges` and every merge bumps
-/// `merges` first, so `bg_merges ≤ merges` holds in *every* snapshot
-/// (the registry's coherence contract). Merge wall latency lands in
-/// the shard's [`Stage::Merge`] histogram.
+/// Per-shard merge and run-stack counters, registered in the store's
+/// [`Obs`] so monitoring reads ([`ShardedStore::merges`] and friends)
+/// are lock-free snapshots that never wait behind a rebuild.
+/// Registration order is the ≤ side of each invariant first
+/// (`bg_merges` before `merges`, `compactions` before `delta_runs`)
+/// and every bump hits the ≥ side first, so `bg_merges ≤ merges` and
+/// `compactions ≤ delta_runs` hold in *every* snapshot (the registry's
+/// coherence contract). Merge wall latency lands in the shard's
+/// [`Stage::Merge`] histogram.
 struct MergeCounters {
     merges: Counter,
     bg_merges: Counter,
+    /// Delta runs published by the write path (one per effective
+    /// shard sub-run).
+    delta_runs: Counter,
+    /// Run-stack folds the write path performed past
+    /// [`StoreConfig::max_runs`] (each fold needs at least one
+    /// published run, so `compactions ≤ delta_runs`).
+    compactions: Counter,
 }
 
 struct Shard {
@@ -335,6 +429,49 @@ impl DurableState {
         }
     }
 
+    /// [`FsyncMode::On`]'s record granularity without its old
+    /// quadratic overhead: encode one record **per op** (each at its
+    /// own sequence) into a single buffer in one pass, append once,
+    /// fsync once — the span/trace machinery runs once per run, not
+    /// once per op. Returns the last sequence consumed. Caller holds
+    /// the shard write lock.
+    fn log_run_per_op(
+        &self,
+        obs: &Obs,
+        shard: usize,
+        mut seq: u64,
+        ops: &[(u64, Option<u64>)],
+    ) -> u64 {
+        let name = durable::wal_name(shard);
+        let mut buf = Vec::new();
+        for op in ops {
+            seq += 1;
+            buf.extend_from_slice(&durable::encode_record(seq, std::slice::from_ref(op)));
+        }
+        let t = SpanTimer::start();
+        self.fs
+            .append(&name, &buf)
+            .unwrap_or_else(|e| panic!("WAL append failed for shard {shard}: {e}"));
+        obs.record_stage(shard, Stage::WalAppend, t.elapsed_ns());
+        self.wal_records.add(ops.len() as u64);
+        let t = SpanTimer::start();
+        self.fs
+            .sync(&name)
+            .unwrap_or_else(|e| panic!("WAL fsync failed for shard {shard}: {e}"));
+        let dur = t.elapsed_ns();
+        obs.record_stage(shard, Stage::WalFsync, dur);
+        obs.trace().emit(
+            shard,
+            TraceKind::WalSync,
+            t.start_ns(),
+            dur,
+            ops.len() as u64,
+            0,
+        );
+        self.wal_syncs.inc();
+        seq
+    }
+
     /// Serialize and fsync a snapshot of `merged` (covering WAL
     /// sequence `seq`) to the shard's temp file. The bulky half of a
     /// durable merge publish — the background merger runs it *outside*
@@ -401,6 +538,15 @@ pub struct LookupScratch {
     ranks: Vec<u32>,
     plan: BatchPlan,
     residual_out: Vec<Option<u64>>,
+}
+
+/// Reusable scratch for [`ShardedStore::apply_write_run_with`]: the
+/// per-shard op-index buckets a multi-op run is grouped into. Keeping
+/// one per dispatcher thread makes steady-state write dispatch
+/// allocation-free outside the run publish itself.
+#[derive(Default)]
+pub struct WriteScratch {
+    by_shard: Vec<Vec<usize>>,
 }
 
 /// What one planned batch did: engine counters for the residual run,
@@ -571,13 +717,15 @@ impl ShardedStore {
         let mut refill = Vec::new();
         for si in 0..num_shards {
             let rec = durable::recover_shard(&*fs, si)?;
-            let mut delta = Delta::default();
+            // Replay the WAL tail in append order into one folded run
+            // (records replay absolute upserts, later records win).
+            let mut tail: Vec<(u64, Option<u64>)> = Vec::new();
             for record in &rec.tail {
-                for &(k, v) in &record.ops {
-                    delta.upsert(k, v);
-                }
+                tail.extend_from_slice(&record.ops);
             }
-            live += merge_pairs(&rec.pairs, &delta.entries).len();
+            sort_lww(&mut tail);
+            live += merge_pairs(&rec.pairs, &tail).len();
+            let delta = Delta::from_sorted(tail);
             if delta.len() >= cfg.merge_threshold {
                 refill.push(si);
             }
@@ -616,6 +764,7 @@ impl ShardedStore {
             cfg.max_delta,
             cfg.merge_threshold
         );
+        assert!(cfg.max_runs >= 1, "max_runs must be >= 1");
     }
 
     fn assemble(
@@ -647,7 +796,14 @@ impl ShardedStore {
                 let labels = [("shard", shard.as_str())];
                 let bg_merges = obs.registry().counter("store_bg_merges", &labels);
                 let merges = obs.registry().counter("store_merges", &labels);
-                MergeCounters { merges, bg_merges }
+                let compactions = obs.registry().counter("store_compactions", &labels);
+                let delta_runs = obs.registry().counter("store_delta_runs", &labels);
+                MergeCounters {
+                    merges,
+                    bg_merges,
+                    delta_runs,
+                    compactions,
+                }
             })
             .collect();
         let inner = Arc::new(StoreInner {
@@ -756,6 +912,19 @@ impl ShardedStore {
         self.inner.obs.snapshot().counter_sum("store_bg_merges")
     }
 
+    /// Delta runs published by the write path since build, across all
+    /// shards (one per effective shard sub-run of a write run).
+    pub fn delta_runs(&self) -> u64 {
+        self.inner.obs.snapshot().counter_sum("store_delta_runs")
+    }
+
+    /// Run-stack folds performed by the write path since build (≤
+    /// [`delta_runs`](Self::delta_runs); each fold collapses a stack
+    /// that exceeded [`StoreConfig::max_runs`] into one run).
+    pub fn compactions(&self) -> u64 {
+        self.inner.obs.snapshot().counter_sum("store_compactions")
+    }
+
     /// Merge jobs queued or in flight right now (a point-in-time
     /// gauge; 0 once [`quiesce`](Self::quiesce)d).
     pub fn merge_backlog(&self) -> usize {
@@ -829,13 +998,30 @@ impl ShardedStore {
     ///
     /// Ops are grouped by owning shard (ops to different shards
     /// commute; per-shard admission order is preserved). Each shard's
-    /// sub-run holds the write lock once, clones the delta once,
-    /// appends **one** WAL record fsynced **once**
-    /// ([`FsyncMode::Group`]; [`FsyncMode::On`] degrades to a record
-    /// and fsync per op) and publishes **one** new version — when this
-    /// returns, every op in the run is durable and visible, so callers
-    /// may acknowledge the whole run.
+    /// sub-run holds the write lock once, sorts its ops into **one**
+    /// immutable delta run (last-write-wins within the run), appends
+    /// **one** WAL record fsynced **once** ([`FsyncMode::Group`];
+    /// [`FsyncMode::On`] logs a record per op but still appends and
+    /// fsyncs once per run) and publishes **one** new version — when
+    /// this returns, every op in the run is durable and visible, so
+    /// callers may acknowledge the whole run.
+    ///
+    /// Allocates per-shard grouping buffers; dispatch loops should
+    /// prefer [`apply_write_run_with`](Self::apply_write_run_with)
+    /// with a long-lived [`WriteScratch`].
     pub fn apply_write_run(&self, ops: &[(u64, Option<u64>)], prevs: &mut Vec<Option<u64>>) {
+        self.apply_write_run_with(ops, prevs, &mut WriteScratch::default());
+    }
+
+    /// [`apply_write_run`](Self::apply_write_run), grouping ops by
+    /// shard through a caller-held reusable [`WriteScratch`] so the
+    /// steady-state dispatch path performs no grouping allocations.
+    pub fn apply_write_run_with(
+        &self,
+        ops: &[(u64, Option<u64>)],
+        prevs: &mut Vec<Option<u64>>,
+        scratch: &mut WriteScratch,
+    ) {
         prevs.clear();
         prevs.resize(ops.len(), None);
         match ops.len() {
@@ -846,11 +1032,14 @@ impl ShardedStore {
             }
             _ => {}
         }
-        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.num_shards()];
-        for (i, &(key, _)) in ops.iter().enumerate() {
-            by_shard[self.shard_of(key)].push(i);
+        scratch.by_shard.resize_with(self.num_shards(), Vec::new);
+        for bucket in &mut scratch.by_shard {
+            bucket.clear();
         }
-        for (si, idxs) in by_shard.iter().enumerate() {
+        for (i, &(key, _)) in ops.iter().enumerate() {
+            scratch.by_shard[self.shard_of(key)].push(i);
+        }
+        for (si, idxs) in scratch.by_shard.iter().enumerate() {
             if !idxs.is_empty() {
                 self.write_shard_run(si, ops, idxs, prevs);
             }
@@ -897,45 +1086,70 @@ impl ShardedStore {
                 .emit(si, TraceKind::Backpressure, t.start_ns(), dur, 1, 0);
         }
         let cur = shard.version.load();
-        let mut delta = cur.delta.clone();
-        let mut effective: Vec<(u64, Option<u64>)> = Vec::with_capacity(idxs.len());
+        // Build this sub-run as its own sorted run instead of cloning
+        // the delta: O(run log run) per publish, independent of how
+        // full the delta is (the old clone + per-op sorted insert was
+        // ~delta²/2 entry copies per threshold fill).
+        let mut run: Vec<(u64, Option<u64>)> = Vec::with_capacity(idxs.len());
         let mut live_delta = 0isize;
         for &i in idxs {
             let (key, val) = ops[i];
-            let prev = match delta.get(key) {
+            // Within the pending run the latest op for the key wins;
+            // runs are dispatcher-batch sized, so the backwards scan
+            // is short.
+            let pending = run.iter().rev().find(|e| e.0 == key).map(|e| e.1);
+            let prev = match pending {
                 Some(over) => over,
-                None => cur.main.get(key),
+                None => match cur.delta.get(key) {
+                    Some(over) => over,
+                    None => cur.main.get(key),
+                },
             };
             prevs[i] = prev;
-            // Removing a key that is nowhere needs no tombstone (and
-            // must not grow the delta, or idempotent removes would
-            // force merges) — and nothing to make durable either.
-            if val.is_none() && prev.is_none() && delta.get(key).is_none() {
+            // Removing an invisible key needs no tombstone (and must
+            // not grow the delta, or idempotent removes would force
+            // merges) — and nothing to make durable either. If an
+            // override exists it is already a tombstone (that is the
+            // only way `prev` is `None` with an override present), so
+            // the elision never loses a deletion.
+            if val.is_none() && prev.is_none() {
                 continue;
             }
-            delta.upsert(key, val);
-            effective.push((key, val));
+            run.push((key, val));
             match (prev.is_some(), val.is_some()) {
                 (false, true) => live_delta += 1,
                 (true, false) => live_delta -= 1,
                 _ => {}
             }
         }
-        if effective.is_empty() {
+        if run.is_empty() {
             return; // fully elided: no record, no epoch bump
         }
+        // Last-write-wins within the run: stable sort keeps equal keys
+        // in op order, dedup keeps the last.
+        sort_lww(&mut run);
         // Ack ⇒ durable: the WAL record hits disk before the publish,
         // and the publish happens before any caller acknowledges.
+        // Replay is absolute upserts, so logging the deduped run is
+        // state-equivalent to logging every op.
         if let Some(d) = &inner.durable {
             if d.fsync == FsyncMode::On {
-                for op in &effective {
-                    w.wal_seq += 1;
-                    d.log_run(&inner.obs, si, w.wal_seq, std::slice::from_ref(op));
-                }
+                w.wal_seq = d.log_run_per_op(&inner.obs, si, w.wal_seq, &run);
             } else {
                 w.wal_seq += 1;
-                d.log_run(&inner.obs, si, w.wal_seq, &effective);
+                d.log_run(&inner.obs, si, w.wal_seq, &run);
             }
+        }
+        let counters = &inner.merge_counters[si];
+        let mut delta = cur.delta.share();
+        delta.push_run(run.into());
+        // `delta_runs` before `compactions` (the registry registers
+        // compactions first), so compactions ≤ delta_runs in every
+        // snapshot.
+        counters.delta_runs.inc();
+        if delta.runs.len() > inner.cfg.max_runs {
+            delta = Delta::from_sorted(delta.fold());
+            counters.compactions.inc();
         }
         let crossed = delta.len() >= inner.cfg.merge_threshold;
         match inner.cfg.merge_mode {
@@ -964,7 +1178,7 @@ impl ShardedStore {
                     .obs
                     .trace()
                     .emit(si, TraceKind::MergeStart, t0.start_ns(), 0, folded, 0);
-                let merged = merge_pairs(&cur.main.pairs(), &delta.entries);
+                let merged = merge_pairs(&cur.main.pairs(), &delta.fold());
                 if let Some(d) = &inner.durable {
                     let tmp = d.stage_snapshot(si, w.wal_seq, &merged);
                     d.commit_and_truncate(si, w.wal_seq, &tmp, w.wal_seq, &[]);
@@ -974,7 +1188,7 @@ impl ShardedStore {
                     delta: Delta::default(),
                 }));
                 let dur = t0.elapsed_ns();
-                inner.merge_counters[si].merges.inc();
+                counters.merges.inc();
                 inner.obs.record_stage(si, Stage::Merge, dur);
                 inner
                     .obs
@@ -1045,7 +1259,7 @@ impl ShardedStore {
             };
         }
         let t = SpanTimer::start();
-        scratch.plan.resolve(&v.delta.entries, keys);
+        scratch.plan.resolve(&v.delta.runs, keys);
         for &(i, res) in &scratch.plan.decided {
             out[i as usize] = res;
         }
@@ -1098,10 +1312,14 @@ impl ShardedStore {
         let out = if v.delta.is_empty() {
             main
         } else {
-            let d = &v.delta.entries;
-            let a = d.partition_point(|e| e.0 < lo);
-            let b = d.partition_point(|e| e.0 <= hi);
-            merge_pairs(&main, &d[a..b])
+            // Fold the run-stack's [lo, hi] slices (newest wins) into
+            // one sorted run, then merge-join with the backend scan.
+            let d = v.delta.fold_range(lo, hi);
+            if d.is_empty() {
+                main
+            } else {
+                merge_pairs(&main, &d)
+            }
         };
         self.inner
             .obs
@@ -1206,7 +1424,7 @@ impl StoreInner {
             v0.delta.len() as u64,
             0,
         );
-        let merged = merge_pairs(&v0.main.pairs(), &v0.delta.entries);
+        let merged = merge_pairs(&v0.main.pairs(), &v0.delta.fold());
         let main = v0.main.rebuild(&merged);
         // The bulky snapshot serialization also runs outside the write
         // lock; only the single merger thread touches the temp file.
@@ -1216,19 +1434,26 @@ impl StoreInner {
             .map(|d| d.stage_snapshot(si, seq0, &merged));
         let mut w = shard.write.plock("shard write state");
         let cur = shard.version.load();
-        // An entry of the current delta is already reflected in the
-        // new main iff the snapshot delta recorded exactly the same
-        // override (deltas only accumulate: cur.delta ⊇ v0.delta,
-        // with per-key values at least as new). Everything else —
-        // writes that landed or changed during the rebuild — survives
-        // as the residual delta.
-        let residual: Vec<(u64, Option<u64>)> = cur
-            .delta
-            .entries
-            .iter()
-            .copied()
-            .filter(|&(k, val)| v0.delta.get(k) != Some(val))
-            .collect();
+        // Residual by **run identity**: a run of the current stack is
+        // already reflected in the new main iff it is one of the runs
+        // the snapshot folded (runs are immutable and shared, so `Arc`
+        // pointer equality decides membership). Runs pushed — or
+        // compacted into fresh runs — during the rebuild survive;
+        // their overrides are the per-key newest, so re-applying any
+        // snapshot-era override they carry on top of the new main is
+        // idempotent. The surviving runs fold into one residual run,
+        // making the published count exact again.
+        let residual: Vec<(u64, Option<u64>)> = Delta {
+            entries: 0,
+            runs: cur
+                .delta
+                .runs
+                .iter()
+                .filter(|r| !v0.delta.runs.iter().any(|r0| Arc::ptr_eq(r, r0)))
+                .cloned()
+                .collect(),
+        }
+        .fold();
         if let (Some(d), Some(tmp)) = (&self.durable, &staged) {
             // Snapshot first, truncate second — and the WAL rewrite
             // holds the residual at the *current* frontier, so a
@@ -1239,7 +1464,7 @@ impl StoreInner {
         let residual_len = residual.len() as u64;
         shard.version.store(Arc::new(ShardVersion {
             main,
-            delta: Delta { entries: residual },
+            delta: Delta::from_sorted(residual),
         }));
         // `merges` before `bg_merges`: with bg_merges registered
         // first, every snapshot sees bg_merges ≤ merges.
@@ -1266,6 +1491,52 @@ impl StoreInner {
         }
         shard.delta_space.notify_all();
     }
+}
+
+/// Sort a freshly built override run by key and resolve duplicates
+/// last-write-wins: the stable sort keeps equal keys in op order, the
+/// in-place dedup keeps the last of each group. O(run log run).
+fn sort_lww(run: &mut Vec<(u64, Option<u64>)>) {
+    run.sort_by_key(|e| e.0);
+    let mut w = 0;
+    for r in 0..run.len() {
+        if r + 1 == run.len() || run[r + 1].0 != run[r].0 {
+            run[w] = run[r];
+            w += 1;
+        }
+    }
+    run.truncate(w);
+}
+
+/// Merge two strictly-sorted override runs into one, the `newer` run
+/// winning every shared key (tombstones are overrides too and are
+/// kept). The run-stack fold applies this pairwise, oldest to newest.
+fn merge_overrides(
+    newer: &[(u64, Option<u64>)],
+    older: &[(u64, Option<u64>)],
+) -> Vec<(u64, Option<u64>)> {
+    let mut out = Vec::with_capacity(newer.len() + older.len());
+    let (mut i, mut j) = (0, 0);
+    while i < newer.len() && j < older.len() {
+        match newer[i].0.cmp(&older[j].0) {
+            std::cmp::Ordering::Less => {
+                out.push(newer[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(older[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(newer[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&newer[i..]);
+    out.extend_from_slice(&older[j..]);
+    out
 }
 
 /// Merge-join a shard's sorted main pairs with its sorted delta run:
@@ -1686,6 +1957,44 @@ mod tests {
                 assert_eq!(union, want);
             }
         }
+    }
+
+    #[test]
+    fn run_stack_folds_past_max_runs_and_preserves_overrides() {
+        // max_runs 2, never merging: the 3rd push folds the stack into
+        // one run. Overwrites and tombstones straddle run boundaries
+        // and must resolve newest-run-first before and after the fold.
+        let store = ShardedStore::build_with(
+            Backend::Sorted,
+            1,
+            &pairs(10),
+            StoreConfig::with_threshold(1 << 20)
+                .with_max_runs(2)
+                .foreground(),
+        );
+        assert_eq!(store.put(0, 1), Some(1000)); // run 1 overrides main
+        assert_eq!(store.put(3, 2), Some(1001)); // run 2
+        assert_eq!(store.delta_runs(), 2);
+        assert_eq!(store.compactions(), 0);
+        assert_eq!(store.delta_len(), 2);
+        assert_eq!(store.remove(0), Some(1)); // run 3 → fold
+        assert_eq!(store.delta_runs(), 3);
+        assert_eq!(store.compactions(), 1);
+        // Folded: one run, exact count (tombstones still count).
+        assert_eq!(store.delta_len(), 2);
+        assert_eq!(store.get(0), None);
+        assert_eq!(store.get(3), Some(2));
+        // A re-override after the fold double-counts until the next
+        // fold collapses it back to the distinct-key count.
+        assert_eq!(store.put(0, 9), None);
+        assert_eq!(store.delta_len(), 3);
+        assert_eq!(store.get(0), Some(9));
+        assert_eq!(store.put(6, 7), Some(1002)); // 3rd run again → fold
+        assert_eq!(store.compactions(), 2);
+        assert_eq!(store.delta_len(), 3); // (0, 9), (3, 2), (6, 7)
+        assert_eq!(store.get(0), Some(9));
+        assert_eq!(store.get_range(0, 8), vec![(0, 9), (3, 2), (6, 7)]);
+        assert_eq!(store.merges(), 0);
     }
 
     #[test]

@@ -1,8 +1,10 @@
 //! Property tests for the *writable* serving layer: any mixed
 //! `put`/`remove`/`get`/`get_many` schedule through the live service
 //! agrees with a sequential `HashMap` oracle — on every backend,
-//! shard count and delta-merge threshold (including threshold 1 =
-//! merge-every-write), with and without the hot-key cache.
+//! shard count, delta-merge threshold (including threshold 1 =
+//! merge-every-write and the 4096 default) and run-stack depth bound
+//! (`max_runs` 1 = fold-every-write, 4, and unbounded), with and
+//! without the hot-key cache.
 //!
 //! Two angles:
 //!
@@ -77,13 +79,20 @@ proptest! {
     ) {
         for backend in Backend::ALL {
             for shards in [1usize, 2, 4] {
-                for threshold in [1usize, 3, 1 << 16] {
+                // (merge threshold, run-stack bound): fold-every-write
+                // under a tiny threshold, the 4096 default threshold
+                // with an unbounded stack, and a never-merging
+                // threshold with a shallow stack (compactions without
+                // merges).
+                for (threshold, max_runs) in
+                    [(1usize, 4usize), (3, 1), (4096, usize::MAX), (1 << 16, 4)]
+                {
                     for cache in [0usize, 16] {
                         let store = ShardedStore::build_with(
                             backend,
                             shards,
                             &pairs,
-                            StoreConfig::with_threshold(threshold),
+                            StoreConfig::with_threshold(threshold).with_max_runs(max_runs),
                         );
                         let svc = service(store, cache);
                         let mut oracle: HashMap<u64, u64> = pairs.iter().copied().collect();
@@ -91,7 +100,7 @@ proptest! {
                         for (step, op) in ops.iter().enumerate() {
                             let tag = || format!(
                                 "backend={} shards={shards} threshold={threshold} \
-                                 cache={cache} step={step} op={op:?}",
+                                 max_runs={max_runs} cache={cache} step={step} op={op:?}",
                                 backend.name()
                             );
                             match op {
@@ -150,6 +159,13 @@ proptest! {
                             prop_assert_eq!(stats.bg_merges, stats.merges);
                         }
                         prop_assert_eq!(stats.merge_latency.count(), stats.merges);
+                        // Run-stack accounting: every fold needed a
+                        // pushed run, and a bound of 1 folds on every
+                        // multi-run publish.
+                        prop_assert!(stats.compactions <= stats.delta_runs);
+                        if max_runs == usize::MAX {
+                            prop_assert_eq!(stats.compactions, 0);
+                        }
                     }
                 }
             }

@@ -1,8 +1,9 @@
 //! Property tests for range scans: `get_range` through the live
 //! service agrees with a `BTreeMap` oracle — on every backend, shard
-//! count and delta-merge threshold (including threshold 1 =
-//! merge-constantly), interleaved with writes that keep keys moving
-//! between delta and main.
+//! count, delta-merge threshold (including threshold 1 =
+//! merge-constantly and the 4096 default) and run-stack depth bound
+//! (`max_runs` 1, 4, unbounded), interleaved with writes that keep
+//! keys moving between delta runs and main.
 //!
 //! Two angles:
 //!
@@ -11,10 +12,12 @@
 //!   answer deterministic, so it must equal the oracle's
 //!   `range(lo..=hi)` exactly — wherever the background merger
 //!   happens to be.
-//! * **Scans racing background merges** — a writer churns a disjoint
-//!   key region through constant merges while a scanner reads a
-//!   static region (exact agreement required) and the full range
-//!   (sortedness and static-subset agreement required).
+//! * **Scans racing background merges (and compactions)** — a writer
+//!   churns a disjoint key region through constant merges — or, in a
+//!   second configuration, through constant run-stack folds with no
+//!   merges at all — while a scanner reads a static region (exact
+//!   agreement required) and the full range (sortedness and
+//!   static-subset agreement required).
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -83,19 +86,24 @@ proptest! {
     ) {
         for backend in Backend::ALL {
             for shards in [1usize, 2, 4] {
-                for threshold in [1usize, 3, 1 << 16] {
+                // (merge threshold, run-stack bound), covering
+                // fold-every-write, the 4096 default and an unbounded
+                // stack that neither merges nor folds.
+                for (threshold, max_runs) in
+                    [(1usize, 4usize), (3, 1), (4096, 4), (1 << 16, usize::MAX)]
+                {
                     let store = ShardedStore::build_with(
                         backend,
                         shards,
                         &pairs,
-                        StoreConfig::with_threshold(threshold),
+                        StoreConfig::with_threshold(threshold).with_max_runs(max_runs),
                     );
                     let svc = service(store);
                     let mut oracle: BTreeMap<u64, u64> = pairs.iter().copied().collect();
                     for (step, op) in ops.iter().enumerate() {
                         let tag = || format!(
                             "backend={} shards={shards} threshold={threshold} \
-                             step={step} op={op:?}",
+                             max_runs={max_runs} step={step} op={op:?}",
                             backend.name()
                         );
                         match op {
@@ -140,15 +148,20 @@ proptest! {
         pairs in initial_pairs(),
         writes in proptest::collection::vec((0u64..200, 0u64..1_000_000), 50..200),
     ) {
-        // The writer churns keys >= 10_000 with merge-every-write; the
-        // scanner's static-region scans must be exact throughout, and
-        // full scans must stay sorted with the static region embedded.
+        // The writer churns keys >= 10_000 — through merge-every-write
+        // in the first configuration, and through constant run-stack
+        // folds with no merges at all in the second (every second
+        // write exceeds max_runs = 2) — so scans race both publish
+        // paths. The scanner's static-region scans must be exact
+        // throughout, and full scans must stay sorted with the static
+        // region embedded.
         for backend in Backend::ALL {
+            for (threshold, max_runs) in [(1usize, 8usize), (1 << 16, 2)] {
             let store = ShardedStore::build_with(
                 backend,
                 2,
                 &pairs,
-                StoreConfig::with_threshold(1),
+                StoreConfig::with_threshold(threshold).with_max_runs(max_runs),
             );
             let svc = service(store);
             let want_static: Vec<(u64, u64)> = pairs.clone();
@@ -197,9 +210,18 @@ proptest! {
             prop_assert_eq!(
                 svc.get_range(0, u64::MAX),
                 oracle_range(&oracle, 0, u64::MAX),
-                "backend={}",
-                backend.name()
+                "backend={} threshold={} max_runs={}",
+                backend.name(),
+                threshold,
+                max_runs
             );
+            let stats = svc.stats();
+            if threshold == 1 << 16 {
+                // The no-merge configuration exercised folds instead.
+                prop_assert_eq!(stats.merges, 0);
+                prop_assert!(stats.compactions <= stats.delta_runs);
+            }
+            }
         }
     }
 }

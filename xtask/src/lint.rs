@@ -26,13 +26,19 @@
 //!   never bare `.lock().unwrap()` — the helpers turn a poisoned lock
 //!   into a tagged panic that names the protocol instead of an opaque
 //!   `PoisonError`.
-//! * **R5 — no ad-hoc stat atomics in serve.** `crates/serve` must
+//! * **R5 — no ad-hoc stat atomics in serve.** `crates/serve/src` must
 //!   not use `AtomicU64` directly: counters register through the
 //!   `isi_obs` registry, whose registration-order snapshot contract
 //!   is what keeps cross-counter invariants (`wal_syncs ≤
 //!   wal_records`, flushes ≤ batches) coherent. A bare atomic field
 //!   is invisible to snapshots and reintroduces the skew the registry
 //!   exists to prevent.
+//! * **R6 — run-stack deltas in serve.** `crates/serve/src` must not
+//!   clone a delta per write (`delta.clone()`) or mutate a sorted
+//!   entry vector in place (`.entries.insert`/`.entries.remove`/
+//!   `.entries.clone()`): the write path publishes immutable runs
+//!   (`Delta::push_run` + `Delta::share`), and the quadratic
+//!   clone-the-whole-delta shape it replaced must not creep back in.
 //!
 //! Rules operate on an in-memory `(path, content)` list so the unit
 //! tests below can prove each rule fires on a seeded violation, not
@@ -57,6 +63,7 @@ const UNSAFE_ALLOWLIST: &[&str] = &[
     "crates/core/tests/alloc_steady.rs",
     "crates/csb/src/lookup.rs",
     "crates/obs/tests/alloc_disabled.rs",
+    "crates/serve/tests/alloc_write.rs",
     "crates/hash/src/probe.rs",
     "crates/search/src/par.rs",
 ];
@@ -131,6 +138,7 @@ fn check_files(files: &[(String, String)]) -> Vec<Violation> {
         check_schema_registry(path, content, &mut out);
         check_serve_locks(path, content, &mut out);
         check_serve_stat_atomics(path, content, &mut out);
+        check_serve_delta_clone(path, content, &mut out);
     }
     out
 }
@@ -494,7 +502,10 @@ fn has_atomic_u64_token(line: &str) -> bool {
 }
 
 fn check_serve_stat_atomics(path: &str, content: &str, out: &mut Vec<Violation>) {
-    if !path.starts_with("crates/serve/") {
+    // Production code only: test binaries may use raw atomics for
+    // harness machinery (e.g. the counting global allocator in
+    // `tests/alloc_write.rs`), which no registry snapshot covers.
+    if !path.starts_with("crates/serve/src/") {
         return;
     }
     let code = sanitize(content, true);
@@ -507,6 +518,39 @@ fn check_serve_stat_atomics(path: &str, content: &str, out: &mut Vec<Violation>)
                 msg: "bare AtomicU64 in crates/serve; register a Counter/Gauge/Hist through \
                       the isi_obs registry instead, so snapshots keep cross-counter \
                       invariants coherent"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+// ---- R6: run-stack deltas in serve ----
+
+/// Quadratic-delta relics forbidden in `crates/serve/src`: cloning a
+/// delta's entries per write run, or inserting/removing in a sorted
+/// entry vector in place. The run-stack write path shares prior runs
+/// (`Delta::share`) and pushes one immutable run per dispatch.
+const DELTA_RELIC_PATTERNS: &[&str] = &[
+    "delta.clone()",
+    ".entries.insert",
+    ".entries.remove",
+    ".entries.clone()",
+];
+
+fn check_serve_delta_clone(path: &str, content: &str, out: &mut Vec<Violation>) {
+    if !path.starts_with("crates/serve/src/") {
+        return;
+    }
+    let code = sanitize(content, true);
+    for (idx, line) in code.lines().enumerate() {
+        if DELTA_RELIC_PATTERNS.iter().any(|p| line.contains(p)) {
+            out.push(Violation {
+                path: path.to_string(),
+                line: idx + 1,
+                rule: "serve-run-stack",
+                msg: "clone-the-delta / in-place entry mutation in the serve write path; \
+                      push an immutable run (`Delta::push_run`) and share prior runs \
+                      (`Delta::share`) — the quadratic per-write delta copy is retired"
                     .to_string(),
             });
         }
@@ -730,6 +774,48 @@ mod tests {
             ),
         ]);
         assert!(check_files(&fs).is_empty());
+    }
+
+    #[test]
+    fn delta_clone_in_serve_write_path_fires() {
+        let fs = files(&[(
+            "crates/serve/src/store.rs",
+            "fn write(cur: &ShardVersion) {\n    let mut delta = cur.delta.clone();\n    delta.entries.insert(pos, (key, val));\n}\n",
+        )]);
+        let v = check_files(&fs);
+        assert_eq!(
+            v.iter().filter(|x| x.rule == "serve-run-stack").count(),
+            2,
+            "{:?}",
+            rules_fired(&v)
+        );
+    }
+
+    #[test]
+    fn delta_relics_outside_serve_src_allowed() {
+        let fs = files(&[
+            // Tests may exercise whatever shapes they like.
+            (
+                "crates/serve/tests/prop_mixed.rs",
+                "fn f(d: &Delta) -> Delta { d.delta.clone() }\n",
+            ),
+            // Other crates are not under the rule.
+            (
+                "crates/bench/src/serve.rs",
+                "fn f(d: &D) -> D { d.delta.clone() }\n",
+            ),
+            // Comments and strings never fire.
+            (
+                "crates/serve/src/store.rs",
+                "// the old path did delta.clone() per write\nconst X: &str = \"delta.clone()\";\n",
+            ),
+        ]);
+        let v = check_files(&fs);
+        assert!(
+            !rules_fired(&v).contains(&"serve-run-stack"),
+            "{:?}",
+            rules_fired(&v)
+        );
     }
 
     #[test]
