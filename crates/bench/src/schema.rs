@@ -28,8 +28,11 @@ pub const SERVE: &str = "isi-serve/v1";
 /// — `config.merge_thresholds` replaces the scalar
 /// `config.merge_threshold`, each cell records its `merge_threshold`
 /// — plus the run-stack columns `runs` (immutable delta runs
-/// published) and `compactions` (stack folds past `max_runs`)).
-pub const SERVE_MIXED: &str = "isi-serve-mixed/v5";
+/// published) and `compactions` (stack folds past `max_runs`); v6
+/// added the adaptive-dispatch axis — `config.adapts` (policy modes
+/// swept) and `config.retune_interval`, each cell records its `adapt`
+/// mode plus the `retunes` counter and per-shard `final_groups`).
+pub const SERVE_MIXED: &str = "isi-serve-mixed/v6";
 
 #[cfg(test)]
 mod tests {

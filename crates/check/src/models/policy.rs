@@ -1,0 +1,98 @@
+//! Model of `isi_core::policy::PolicyCell` retune publication.
+//!
+//! The adaptive dispatcher republishes a shard's interleave policy
+//! every retune interval while dispatched batches snapshot it per
+//! read run. The real cell packs the whole policy into **one**
+//! `AtomicU64` (`Interleave::Sequential` → 0, `Interleaved(g)` → g),
+//! so a snapshot is a single load and can never mix two policies. The
+//! model makes that directly assertable by widening the payload to a
+//! `(group, tag)` pair where the tag is a function of the group —
+//! packed into one word exactly as `PolicyCell` packs its encoding.
+//! The invariants:
+//!
+//! 1. **Never torn** — every snapshot's tag matches its group: the
+//!    reader sees some *complete* published policy, old or new.
+//! 2. **Within clamps** — every observed group stays in
+//!    `[1, calibrated]`, the range the controller's
+//!    `group_for_density` guarantees.
+//!
+//! [`split_policy_publish`] is the deliberately broken variant: the
+//! group and its tag live in two separate atomics — the shape a
+//! "struct with two atomic fields" refactor of `PolicyCell` would
+//! produce — so some interleaving *must* observe half of one retune
+//! and half of another. The test suite uses it to prove the explorer
+//! finds exactly that bug (see `tests/models.rs`).
+
+use std::sync::Arc;
+
+use crate::sync::atomic::AtomicU64;
+use crate::sync::Ordering;
+use crate::vt;
+
+/// The calibrated ceiling the model's retuner clamps to.
+const CALIBRATED: u64 = 6;
+
+/// Tag function: what the packed word's high half must be for `g`.
+fn tag_of(g: u64) -> u64 {
+    g.wrapping_mul(1_000).wrapping_add(g)
+}
+
+fn pack(g: u64) -> u64 {
+    (tag_of(g) << 32) | g
+}
+
+fn unpack(word: u64) -> (u64, u64) {
+    (word & 0xffff_ffff, word >> 32)
+}
+
+/// The faithful model: the retuner republishes the policy as a single
+/// word store (as `PolicyCell::store` does); the dispatcher's per-run
+/// snapshot is a single load. No interleaving can tear the pair or
+/// escape the clamps.
+pub fn retune_publish_never_torn() {
+    let cell = Arc::new(AtomicU64::new(pack(CALIBRATED)));
+
+    let retuner = {
+        let cell = Arc::clone(&cell);
+        vt::spawn(move || {
+            // Two retunes walking the group down, as a hot delta would.
+            for g in [3u64, 1] {
+                cell.store(pack(g), Ordering::SeqCst);
+            }
+        })
+    };
+
+    // The main virtual thread is the dispatcher snapshotting per run.
+    for _ in 0..2 {
+        let (g, tag) = unpack(cell.load(Ordering::SeqCst));
+        assert_eq!(tag, tag_of(g), "torn policy: group {g} with tag {tag}");
+        assert!(
+            (1..=CALIBRATED).contains(&g),
+            "group {g} outside [1, {CALIBRATED}]"
+        );
+    }
+    retuner.join();
+}
+
+/// The known-bad variant: the group and its tag are published as two
+/// independent atomic stores — the two-field struct a naive
+/// `PolicyCell` replacement would use — so a dispatcher scheduled
+/// between the stores observes a torn policy. The explorer must find
+/// this (see `tests/models.rs`).
+pub fn split_policy_publish() {
+    let group = Arc::new(AtomicU64::new(CALIBRATED));
+    let tag = Arc::new(AtomicU64::new(tag_of(CALIBRATED)));
+
+    let retuner = {
+        let (group, tag) = (Arc::clone(&group), Arc::clone(&tag));
+        vt::spawn(move || {
+            group.store(1, Ordering::SeqCst);
+            tag.store(tag_of(1), Ordering::SeqCst);
+        })
+    };
+
+    let g = group.load(Ordering::SeqCst);
+    let t = tag.load(Ordering::SeqCst);
+    assert_eq!(t, tag_of(g), "torn policy observed: group={g} tag={t}");
+    retuner.join();
+}

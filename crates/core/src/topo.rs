@@ -1,0 +1,162 @@
+//! CPU topology probing and thread placement for core-affine shards.
+//!
+//! The serving layer runs one dispatcher thread per shard plus one
+//! background merger per store. On a multi-core box, letting the
+//! scheduler migrate those threads means a shard's batches (and the
+//! merger's freshly rebuilt mains) keep crossing cores — every
+//! migration cools the very caches the interleaved engine exists to
+//! hide misses in. [`Topology`] probes the core count once and maps
+//! shards onto cores round-robin; [`Topology::pin_current`] pins the
+//! calling thread with a raw `sched_setaffinity` syscall (the
+//! workspace is dependency-free, so no libc wrapper).
+//!
+//! Placement is **best-effort by design**: on a single-core host, a
+//! non-`x86_64`/non-Linux target, under Miri, or when the kernel
+//! refuses the affinity call, `pin_current` simply returns `false`
+//! and the caller proceeds unpinned. Correctness never depends on
+//! pinning — only locality does — so the fallback is silent. The CI
+//! container has one core and therefore exercises exactly this path.
+
+/// A probed view of the machine's CPU layout: how many cores are
+/// available and which core each shard should own.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Topology {
+    cores: usize,
+}
+
+impl Topology {
+    /// Probe the host: [`std::thread::available_parallelism`], with a
+    /// single-core fallback when the probe itself fails.
+    pub fn probe() -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self { cores }
+    }
+
+    /// A topology with an explicit core count (tests, simulations).
+    pub fn with_cores(cores: usize) -> Self {
+        Self {
+            cores: cores.max(1),
+        }
+    }
+
+    /// Number of usable cores (always ≥ 1).
+    #[inline]
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
+    /// True when there is nothing to place (one core owns everything).
+    #[inline]
+    pub fn is_single_core(&self) -> bool {
+        self.cores == 1
+    }
+
+    /// The core that owns `shard`: shards are laid out round-robin so
+    /// every core serves an equal slice of the key space and a shard's
+    /// dispatcher and its merger rebuilds land on the same core.
+    #[inline]
+    pub fn core_for_shard(&self, shard: usize) -> usize {
+        shard % self.cores
+    }
+
+    /// Pin the **calling thread** to `core`. Returns `true` only when
+    /// the kernel accepted the affinity mask; `false` on single-core
+    /// hosts (nothing to pin), unsupported targets, or kernel refusal
+    /// — callers must treat `false` as "run unpinned", never an error.
+    pub fn pin_current(&self, core: usize) -> bool {
+        if self.is_single_core() {
+            return false;
+        }
+        pin_to_core(core % self.cores)
+    }
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Self::probe()
+    }
+}
+
+/// `sched_setaffinity(0, sizeof(mask), &mask)` by raw syscall —
+/// pid 0 means the calling thread. 1024 mask bits matches the
+/// kernel's default `CONFIG_NR_CPUS` ceiling.
+#[cfg(all(target_os = "linux", target_arch = "x86_64", not(miri)))]
+fn pin_to_core(core: usize) -> bool {
+    const MASK_WORDS: usize = 16; // 16 × 64 = 1024 CPUs
+    if core >= MASK_WORDS * 64 {
+        return false;
+    }
+    let mut mask = [0u64; MASK_WORDS];
+    mask[core / 64] = 1u64 << (core % 64);
+    let ret: i64;
+    // SAFETY: `syscall` with nr 203 (sched_setaffinity on x86_64
+    // Linux) reads `mask.len() * 8` bytes from `mask.as_ptr()`, which
+    // is exactly the live length of the local array above; it writes
+    // no user memory. rcx/r11 are declared clobbered (the syscall
+    // instruction overwrites them) and the kernel preserves all other
+    // registers, so no Rust-visible state is corrupted.
+    unsafe {
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") 203i64 => ret,
+            in("rdi") 0usize,
+            in("rsi") std::mem::size_of_val(&mask),
+            in("rdx") mask.as_ptr(),
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack, readonly),
+        );
+    }
+    ret == 0
+}
+
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64", not(miri))))]
+fn pin_to_core(_core: usize) -> bool {
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_reports_at_least_one_core() {
+        let topo = Topology::probe();
+        assert!(topo.cores() >= 1);
+        assert_eq!(topo.is_single_core(), topo.cores() == 1);
+    }
+
+    #[test]
+    fn shards_round_robin_over_cores() {
+        let topo = Topology::with_cores(4);
+        assert_eq!(topo.core_for_shard(0), 0);
+        assert_eq!(topo.core_for_shard(3), 3);
+        assert_eq!(topo.core_for_shard(4), 0);
+        assert_eq!(topo.core_for_shard(7), 3);
+        // Degenerate request is clamped, not panicked on.
+        assert_eq!(Topology::with_cores(0).cores(), 1);
+    }
+
+    #[test]
+    fn single_core_pin_is_a_silent_no_op() {
+        let topo = Topology::with_cores(1);
+        assert!(!topo.pin_current(0));
+        assert!(!topo.pin_current(17));
+    }
+
+    #[test]
+    fn pin_never_panics_and_round_trips_cores() {
+        // On a multi-core Linux host this genuinely pins (and the
+        // result is true); on the single-core CI container or other
+        // targets it must fall back to false without error. Both
+        // outcomes are legal — the contract is "best effort, no
+        // panic".
+        let topo = Topology::probe();
+        let pinned = topo.pin_current(topo.core_for_shard(0));
+        if topo.is_single_core() {
+            assert!(!pinned);
+        }
+    }
+}

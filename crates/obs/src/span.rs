@@ -6,7 +6,7 @@
 //! [`Stage`] enum names them once, so the store, the service, the
 //! bench renderer, and the schema verifier all agree on the same
 //! spelling — a typo'd stage string cannot silently create an
-//! eleventh histogram.
+//! extra histogram.
 //!
 //! [`SpanTimer`] is deliberately thin: capture a start timestamp,
 //! subtract later. The timestamp comes from [`now_ns`], a monotonic
@@ -48,11 +48,14 @@ pub enum Stage {
     /// Producer-side stall waiting for admission-queue or delta
     /// capacity.
     Backpressure,
+    /// One adaptive-dispatch retune: recomputing a shard's interleave
+    /// group from observed density and publishing the new policy.
+    Retune,
 }
 
 impl Stage {
     /// Number of stages (length of [`Stage::ALL`]).
-    pub const COUNT: usize = 10;
+    pub const COUNT: usize = 11;
 
     /// Every stage, in discriminant order.
     pub const ALL: [Stage; Self::COUNT] = [
@@ -66,6 +69,7 @@ impl Stage {
         Stage::Merge,
         Stage::RangeScan,
         Stage::Backpressure,
+        Stage::Retune,
     ];
 
     /// Index into a per-shard stage array.
@@ -88,6 +92,7 @@ impl Stage {
             Stage::Merge => "merge",
             Stage::RangeScan => "range_scan",
             Stage::Backpressure => "backpressure",
+            Stage::Retune => "retune",
         }
     }
 

@@ -78,10 +78,16 @@ pub fn bulk_rank_coro_adaptive<K: SearchKey, M: IndexedMem<K> + Copy>(
 /// result to
 /// [`autotune::group_for_density`](crate::autotune::group_for_density)
 /// to shrink the interleaving group when the hint says most probes are
-/// already hot. Backends without a hint (`None`, i.e. real hardware)
-/// measure 0.0, so the calibrated group stands. Returns 0.0 for an
-/// empty pilot or a table too small to probe.
+/// already hot. Backends without a hint
+/// ([`IndexedMem::has_residency_hint`] is `false`, i.e. real hardware)
+/// answer 0.0 *without walking*: every probe would report `None`, so
+/// the pilot's data-dependent loads would only pollute the caches it is
+/// trying to measure. Returns 0.0 for an empty pilot or a table too
+/// small to probe.
 pub fn hint_density<K: SearchKey, M: IndexedMem<K> + Copy>(mem: M, values: &[K]) -> f64 {
+    if !mem.has_residency_hint() {
+        return 0.0;
+    }
     let mut probes = 0u64;
     let mut hot = 0u64;
     for v in values {
@@ -135,6 +141,9 @@ mod tests {
         }
         fn probably_cached(&self, idx: usize) -> Option<bool> {
             Some(idx >= self.hot_above)
+        }
+        fn has_residency_hint(&self) -> bool {
+            true
         }
     }
 

@@ -103,6 +103,26 @@ pub fn group_for_density(calibrated: usize, density: f64) -> usize {
     scaled.clamp(1, calibrated)
 }
 
+/// Delta-decided density from raw counters: the fraction of probed
+/// keys the plan stage answered out of the delta (`delta_hits`) of all
+/// keys that entered the lookup path (`delta_hits + engine_lookups`).
+///
+/// The zero-denominator case — an empty-main shard that has served no
+/// reads yet, or a window with no read traffic — returns `0.0`
+/// ("assume misses"), so [`group_for_density`] keeps the calibrated
+/// group instead of receiving a NaN from `0 / 0`. Every consumer of a
+/// counter-derived density (`LookupService::suggested_groups`, the
+/// retune controller) must come through here rather than dividing
+/// inline.
+pub fn density_for_counts(delta_hits: u64, engine_lookups: u64) -> f64 {
+    let total = delta_hits + engine_lookups;
+    if total == 0 {
+        0.0
+    } else {
+        delta_hits as f64 / total as f64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,6 +150,21 @@ mod tests {
     #[should_panic(expected = "calibrated group")]
     fn zero_calibrated_group_rejected() {
         group_for_density(0, 0.5);
+    }
+
+    #[test]
+    fn counter_density_handles_the_extremes() {
+        // Empty shard / no traffic: zero denominator must yield 0.0
+        // (keep the calibrated group), not NaN.
+        assert_eq!(density_for_counts(0, 0), 0.0);
+        assert_eq!(group_for_density(8, density_for_counts(0, 0)), 8);
+        // All-delta: every key decided by the plan stage, density 1,
+        // group clamps to a single stream without panicking.
+        assert_eq!(density_for_counts(100, 0), 1.0);
+        assert_eq!(group_for_density(8, density_for_counts(100, 0)), 1);
+        // Mixed traffic is a plain fraction.
+        assert_eq!(density_for_counts(25, 75), 0.25);
+        assert_eq!(density_for_counts(0, 50), 0.0);
     }
 
     #[test]

@@ -67,13 +67,16 @@ use std::time::{Duration, Instant};
 
 use isi_core::par::ParConfig;
 use isi_core::policy::Interleave;
+use isi_core::policy::PolicyCell;
 use isi_core::sched::RunStats;
 use isi_core::stats::LatencyHist;
 use isi_core::sync::{CondvarExt, MutexExt};
+use isi_core::topo::Topology;
 use isi_hash::table::HashKey;
-use isi_obs::{chrome_trace_json, Counter, Hist, Obs, SpanTimer, Stage, TraceKind, Value};
-use isi_search::autotune::group_for_density;
+use isi_obs::{chrome_trace_json, Counter, Gauge, Hist, Obs, SpanTimer, Stage, TraceKind, Value};
+use isi_search::autotune::{density_for_counts, group_for_density};
 
+use crate::adapt::{Adapt, Controller, HINT_SAMPLE};
 use crate::store::{LookupScratch, ShardedStore, WriteScratch};
 
 /// When a shard's dispatcher flushes its admission queue.
@@ -98,8 +101,19 @@ impl Default for BatchPolicy {
 /// Service configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServeConfig {
-    /// Interleave policy for dispatched batches.
+    /// Interleave policy for dispatched batches. Under
+    /// [`Adapt::Auto`] this is the *calibrated ceiling*: retunes
+    /// scale it down toward sequential as observed density rises and
+    /// back up as it falls, never above it.
     pub policy: Interleave,
+    /// Adaptive-dispatch mode (see [`Adapt`]). [`Adapt::Off`] — the
+    /// default — dispatches `policy` forever, exactly the
+    /// pre-adaptive behavior.
+    pub adapt: Adapt,
+    /// Dispatched read runs between retunes under [`Adapt::Auto`]
+    /// (ignored otherwise). Small intervals track drift fast but
+    /// retune on noisy windows; large ones smooth at the cost of lag.
+    pub retune_interval: usize,
     /// Flush policy for each shard's admission queue.
     pub batch: BatchPolicy,
     /// Per-shard admission-queue bound; requests block when the owning
@@ -126,6 +140,8 @@ impl Default for ServeConfig {
     fn default() -> Self {
         Self {
             policy: Interleave::default(),
+            adapt: Adapt::Off,
+            retune_interval: 64,
             batch: BatchPolicy::default(),
             queue_cap: 1024,
             par: ParConfig::with_threads(1),
@@ -275,6 +291,12 @@ struct ShardState {
     m: ShardCounters,
     /// `None` when `hot_cache_slots == 0`.
     cache: Option<Mutex<HotCache>>,
+    /// The shard's published interleave policy: the dispatcher
+    /// snapshots it once per read run (one atomic load, never torn),
+    /// and — under [`Adapt::Auto`] — republishes it at each retune
+    /// (one atomic store, alloc-free). With adaptation off it holds
+    /// the seeded config policy forever.
+    policy: PolicyCell,
 }
 
 /// One shard's handles into the service metrics registry, resolved
@@ -296,6 +318,12 @@ struct ShardCounters {
     range_scans: Counter,
     delta_hits: Counter,
     cache_hits: Counter,
+    /// Policy retunes published by this shard's controller (0 unless
+    /// [`Adapt::Auto`]).
+    retunes: Counter,
+    /// The shard's currently published interleave group (a gauge: 1
+    /// means sequential).
+    current_group: Gauge,
     /// Per-entry latency (enqueue → response routed), nanoseconds.
     latency: Hist,
 }
@@ -340,6 +368,9 @@ pub struct ServeStats {
     /// Batches flushed by the `max_wait` deadline (or drained at
     /// close).
     pub timeout_flushes: u64,
+    /// Interleave-policy retunes published by the shards' adaptive
+    /// controllers (0 unless [`Adapt::Auto`]).
+    pub retunes: u64,
     /// Per-entry latency (enqueue → response routed), nanoseconds.
     pub latency: LatencyHist,
     /// Merged interleaved-engine counters across all dispatches
@@ -443,6 +474,7 @@ impl LookupService {
     pub fn start(store: impl Into<Arc<ShardedStore>>, cfg: ServeConfig) -> Self {
         assert!(cfg.queue_cap > 0, "queue_cap must be positive");
         assert!(cfg.batch.max_batch > 0, "max_batch must be positive");
+        assert!(cfg.retune_interval > 0, "retune_interval must be positive");
         let store = store.into();
         let obs = Arc::new(Obs::new("serve", store.num_shards()));
         if cfg.trace_events > 0 {
@@ -477,8 +509,18 @@ impl LookupService {
                         range_scans: counter("serve_range_scans"),
                         delta_hits: counter("serve_delta_hits"),
                         cache_hits: counter("serve_cache_hits"),
+                        retunes: counter("serve_retunes"),
+                        current_group: {
+                            let g = reg.gauge("serve_current_group", &l);
+                            g.set(
+                                Controller::initial_policy(cfg.adapt, cfg.policy).group_or_one()
+                                    as i64,
+                            );
+                            g
+                        },
                         latency: reg.hist("serve_latency_ns", &l),
                     },
+                    policy: PolicyCell::new(Controller::initial_policy(cfg.adapt, cfg.policy)),
                     cache: (cfg.hot_cache_slots > 0)
                         .then(|| Mutex::new(HotCache::new(cfg.hot_cache_slots))),
                 })
@@ -714,6 +756,7 @@ impl LookupService {
             batches: snap.counter_sum("serve_batches"),
             full_flushes: snap.counter_sum("serve_full_flushes"),
             timeout_flushes: snap.counter_sum("serve_timeout_flushes"),
+            retunes: snap.counter_sum("serve_retunes"),
             latency: snap.hist_merged("serve_latency_ns", |_| true),
             merges: store_snap.counter_sum("store_merges"),
             bg_merges: store_snap.counter_sum("store_bg_merges"),
@@ -808,14 +851,22 @@ impl LookupService {
                     .engine
                     .plock("shard engine stats")
                     .lookups;
-                let total = lookups + delta_hits;
-                let density = if total == 0 {
-                    0.0
-                } else {
-                    delta_hits as f64 / total as f64
-                };
-                group_for_density(calibrated, density)
+                // `density_for_counts` owns the zero-denominator case
+                // (empty-main shard, no reads yet): 0.0, never 0/0.
+                group_for_density(calibrated, density_for_counts(delta_hits, lookups))
             })
+            .collect()
+    }
+
+    /// Each shard's *currently published* interleave group (what the
+    /// next dispatched read run will snapshot). With [`Adapt::Off`]
+    /// this is `cfg.policy.group_or_one()` forever; with
+    /// [`Adapt::Fixed`] the pinned group; with [`Adapt::Auto`] the
+    /// last retune's output, in `[1, cfg.policy.group_or_one()]`.
+    pub fn current_groups(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|s| s.policy.load().group_or_one())
             .collect()
     }
 
@@ -884,6 +935,18 @@ fn dispatch_loop(
         write_prevs: Vec::with_capacity(cfg.batch.max_batch),
         write_scratch: WriteScratch::default(),
     };
+    // The shard's retune controller lives on its dispatcher's stack —
+    // the only thread that observes this shard's runs or republishes
+    // its policy cell.
+    let mut ctl = Controller::new(cfg.adapt, cfg.retune_interval, cfg.policy.group_or_one());
+    if cfg.adapt != Adapt::Off {
+        // Adaptive dispatch implies the placement story: pin the
+        // dispatcher to its shard's home core, so the hot-cache state
+        // the residency hint measures belongs to *this* core. A no-op
+        // on single-core hosts or where affinity is unsupported.
+        let topo = Topology::probe();
+        topo.pin_current(topo.core_for_shard(shard));
+    }
     let mut q = state.q.plock("admission queue");
     loop {
         if q.reqs.is_empty() {
@@ -914,7 +977,7 @@ fn dispatch_loop(
         state.space.notify_all();
         drop(q);
 
-        execute_batch(store, shard, state, cfg, obs, &mut bufs, full);
+        execute_batch(store, shard, state, cfg, obs, &mut bufs, full, &mut ctl);
 
         q = state.q.plock("admission queue");
     }
@@ -938,8 +1001,10 @@ fn dispatch_loop(
 ///
 /// Stage spans recorded here: `admission_wait` per entry at drain,
 /// `writeback` around each write run (store call + cache
-/// invalidation), `commit` around each fulfill pass. The store records
+/// invalidation), `commit` around each fulfill pass, `retune` around a
+/// due controller's republish. The store records
 /// `plan`/`engine`/`wal_*`/`merge` inside its own calls.
+#[allow(clippy::too_many_arguments)]
 fn execute_batch(
     store: &ShardedStore,
     shard: usize,
@@ -948,6 +1013,7 @@ fn execute_batch(
     obs: &Obs,
     bufs: &mut DispatchBufs,
     full: bool,
+    ctl: &mut Controller,
 ) {
     let batch_t = SpanTimer::start();
     // Count the flush up front: no ticket from this batch can resolve
@@ -990,10 +1056,15 @@ fn execute_batch(
         if !bufs.run_keys.is_empty() {
             bufs.out.clear();
             bufs.out.resize(bufs.run_keys.len(), None);
+            // Snapshot the published policy once per run: a retune
+            // landing mid-run (impossible today — the owning dispatcher
+            // is the only publisher — but cheap to be robust against)
+            // would still leave this run on one coherent policy.
+            let policy = state.policy.load();
             let outcome = store.lookup_batch(
                 shard,
                 &bufs.run_keys,
-                cfg.policy,
+                policy,
                 cfg.par,
                 &mut bufs.scratch,
                 &mut bufs.out,
@@ -1038,6 +1109,19 @@ fn execute_batch(
                 }
             }
             obs.record_stage(shard, Stage::Commit, commit_t.elapsed_ns());
+            // Close the feedback loop: account this run's densities and,
+            // when the window is due, fold in the backend's residency
+            // hint (sampled from a bounded prefix of this run's own
+            // keys — no extra buffer) and republish the policy cell.
+            if ctl.observe_run(outcome.delta_hits, outcome.engine.lookups) {
+                let retune_t = SpanTimer::start();
+                let sample = &bufs.run_keys[..bufs.run_keys.len().min(HINT_SAMPLE)];
+                let group = ctl.retune(store.hint_density(shard, sample));
+                state.policy.store(Interleave::from_group(group));
+                state.m.retunes.inc();
+                state.m.current_group.set(group as i64);
+                obs.record_stage(shard, Stage::Retune, retune_t.elapsed_ns());
+            }
         }
         // Apply the writes and range scans that ended the run, in
         // admission order. Consecutive writes form one write run —
@@ -1269,7 +1353,7 @@ mod tests {
         let svc = LookupService::start(
             store,
             ServeConfig {
-                policy: Interleave::Interleaved(6),
+                policy: Interleave::from_group(6),
                 batch: BatchPolicy {
                     max_batch: 16,
                     max_wait: Duration::from_micros(100),
@@ -1615,6 +1699,107 @@ mod tests {
             "delta-dense shard kept group {}",
             groups[0]
         );
+    }
+
+    #[test]
+    fn suggested_groups_survive_the_density_extremes() {
+        // Regression: an empty-main shard whose reads are ALL
+        // delta-decided has engine.lookups == 0, and a shard with no
+        // traffic at all has a zero denominator outright. Both used to
+        // be one inline division away from NaN; `density_for_counts`
+        // must keep the first at a single stream and the second at the
+        // calibration.
+        let store = ShardedStore::build_with(
+            Backend::Sorted,
+            2,
+            &[], // empty main on every shard
+            StoreConfig::with_threshold(1 << 20),
+        );
+        let svc = LookupService::start(
+            store,
+            ServeConfig {
+                batch: BatchPolicy {
+                    max_batch: 4,
+                    max_wait: Duration::from_micros(50),
+                },
+                hot_cache_slots: 0,
+                ..ServeConfig::default()
+            },
+        );
+        // Untouched service: zero reads on both shards.
+        assert_eq!(svc.suggested_groups(8), vec![8, 8]);
+        // Write into shard-spread keys, then read them back: with an
+        // empty main every answered read is delta-decided, so density
+        // is exactly 1.0 on any shard that served a read.
+        for k in 0..32u64 {
+            assert_eq!(svc.put(k, k + 1), None);
+        }
+        for k in 0..32u64 {
+            assert_eq!(svc.get(k), Some(k + 1));
+        }
+        for (shard, g) in svc.suggested_groups(8).into_iter().enumerate() {
+            assert_eq!(g, 1, "all-delta shard {shard} suggested group {g}");
+        }
+    }
+
+    #[test]
+    fn adapt_off_never_retunes_and_auto_stays_within_clamps() {
+        for (adapt, calibrated) in [(Adapt::Off, 6), (Adapt::Auto, 6), (Adapt::Fixed(3), 6)] {
+            let store = ShardedStore::build_with(
+                Backend::Sorted,
+                2,
+                &pairs(2000),
+                StoreConfig::with_threshold(1 << 20),
+            );
+            let svc = LookupService::start(
+                store,
+                ServeConfig {
+                    policy: Interleave::from_group(calibrated),
+                    adapt,
+                    retune_interval: 2,
+                    batch: BatchPolicy {
+                        max_batch: 8,
+                        max_wait: Duration::from_micros(50),
+                    },
+                    hot_cache_slots: 0,
+                    ..ServeConfig::default()
+                },
+            );
+            // A write-heavy warm delta plus re-reads gives the auto
+            // controller a dense window to react to; answers must stay
+            // exact regardless of what group it lands on.
+            for k in 0..64u64 {
+                svc.put(k * 2 + 1, k);
+            }
+            for _ in 0..4 {
+                for k in 0..64u64 {
+                    assert_eq!(svc.get(k * 2 + 1), Some(k), "{adapt:?}");
+                    assert_eq!(svc.get(k * 4), Some(k * 2), "{adapt:?}");
+                }
+            }
+            let stats = svc.stats();
+            let groups = svc.current_groups();
+            assert_eq!(groups.len(), 2);
+            match adapt {
+                Adapt::Off => {
+                    assert_eq!(stats.retunes, 0, "off must never retune");
+                    assert_eq!(groups, vec![calibrated, calibrated]);
+                }
+                Adapt::Fixed(g) => {
+                    assert_eq!(stats.retunes, 0, "fixed must never retune");
+                    assert_eq!(groups, vec![g, g]);
+                }
+                Adapt::Auto => {
+                    assert!(stats.retunes > 0, "auto saw traffic but never retuned");
+                    for g in groups {
+                        assert!(
+                            (1..=calibrated).contains(&g),
+                            "retuned group {g} escaped [1, {calibrated}]"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -22,7 +22,9 @@ use std::time::Duration;
 
 use proptest::prelude::*;
 
-use isi_serve::{Backend, BatchPolicy, LookupService, ServeConfig, ShardedStore, StoreConfig};
+use isi_serve::{
+    Adapt, Backend, BatchPolicy, LookupService, ServeConfig, ShardedStore, StoreConfig,
+};
 
 /// Key space small enough that overwrites, removes of present keys
 /// and tombstone-hiding merges all happen constantly.
@@ -54,6 +56,13 @@ fn initial_pairs() -> impl Strategy<Value = Vec<(u64, u64)>> {
 }
 
 fn service(store: ShardedStore, hot_cache_slots: usize) -> LookupService {
+    service_with_adapt(store, hot_cache_slots, Adapt::Off)
+}
+
+/// Same shape as [`service`], with the dispatch mode swept: a tiny
+/// `retune_interval` makes `Auto` republish the policy constantly, so
+/// adaptive runs exercise mid-schedule group changes.
+fn service_with_adapt(store: ShardedStore, hot_cache_slots: usize, adapt: Adapt) -> LookupService {
     LookupService::start(
         store,
         ServeConfig {
@@ -63,6 +72,8 @@ fn service(store: ShardedStore, hot_cache_slots: usize) -> LookupService {
             },
             queue_cap: 8,
             hot_cache_slots,
+            adapt,
+            retune_interval: 2,
             ..ServeConfig::default()
         },
     )
@@ -166,6 +177,84 @@ proptest! {
                         if max_runs == usize::MAX {
                             prop_assert_eq!(stats.compactions, 0);
                         }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Adaptive dispatch is a pure execution-policy change: with
+    /// merges racing (threshold 2) and the controller retuning every
+    /// other read run, `Auto` must answer every schedule exactly as
+    /// `Off` does — i.e. both match the `HashMap` oracle — while the
+    /// retune counters prove the loop actually ran (`Auto`) or
+    /// provably stayed out of the way (`Off`).
+    #[test]
+    fn adaptive_dispatch_agrees_with_fixed_policy(
+        pairs in initial_pairs(),
+        ops in ops_strategy(),
+    ) {
+        for adapt in [Adapt::Off, Adapt::Auto, Adapt::Fixed(2)] {
+            for shards in [1usize, 4] {
+                let store = ShardedStore::build_with(
+                    Backend::Sorted,
+                    shards,
+                    &pairs,
+                    StoreConfig::with_threshold(2),
+                );
+                let svc = service_with_adapt(store, 16, adapt);
+                let mut oracle: HashMap<u64, u64> = pairs.iter().copied().collect();
+                for (step, op) in ops.iter().enumerate() {
+                    let tag = || format!("adapt={} shards={shards} step={step} op={op:?}", adapt.name());
+                    match op {
+                        MixedOp::Get(k) => {
+                            prop_assert_eq!(svc.get(*k), oracle.get(k).copied(), "{}", tag());
+                        }
+                        MixedOp::Put(k, v) => {
+                            prop_assert_eq!(svc.put(*k, *v), oracle.insert(*k, *v), "{}", tag());
+                        }
+                        MixedOp::Remove(k) => {
+                            prop_assert_eq!(svc.remove(*k), oracle.remove(k), "{}", tag());
+                        }
+                        MixedOp::GetMany(keys) => {
+                            let want: Vec<Option<u64>> =
+                                keys.iter().map(|k| oracle.get(k).copied()).collect();
+                            prop_assert_eq!(svc.get_many(keys), want, "{}", tag());
+                        }
+                    }
+                }
+                // The full-keyspace sweep guarantees at least one read
+                // run per populated shard — enough for the interval-2
+                // controller to have come due somewhere.
+                let all: Vec<u64> = (0..KEYSPACE).collect();
+                let want: Vec<Option<u64>> =
+                    all.iter().map(|k| oracle.get(k).copied()).collect();
+                prop_assert_eq!(svc.get_many(&all), want);
+                prop_assert_eq!(svc.get_many(&all), want);
+
+                svc.store().quiesce();
+                let stats = svc.stats();
+                let groups = svc.current_groups();
+                prop_assert_eq!(groups.len(), shards);
+                match adapt {
+                    Adapt::Off => {
+                        // Off is the pre-adaptive service, bit for bit:
+                        // no retunes, every shard pinned at the
+                        // configured default group.
+                        prop_assert_eq!(stats.retunes, 0);
+                        prop_assert!(groups.iter().all(|&g| g == 6), "{:?}", groups);
+                    }
+                    Adapt::Fixed(f) => {
+                        prop_assert_eq!(stats.retunes, 0);
+                        prop_assert!(groups.iter().all(|&g| g == f), "{:?}", groups);
+                    }
+                    Adapt::Auto => {
+                        prop_assert!(stats.retunes > 0, "controller never came due");
+                        prop_assert!(
+                            groups.iter().all(|&g| (1..=6).contains(&g)),
+                            "{:?}",
+                            groups
+                        );
                     }
                 }
             }

@@ -39,6 +39,13 @@
 //!   `.entries.clone()`): the write path publishes immutable runs
 //!   (`Delta::push_run` + `Delta::share`), and the quadratic
 //!   clone-the-whole-delta shape it replaced must not creep back in.
+//! * **R7 — adaptive dispatch owns group sizes.** `crates/serve/src`
+//!   must not hardcode an interleave group
+//!   (`Interleave::Interleaved(<literal>)`) outside the adapt
+//!   controller module: every group a dispatcher runs with must flow
+//!   from `ServeConfig::policy` through the `Controller` and its
+//!   `PolicyCell`, or the adaptive feedback loop silently stops
+//!   governing that call site.
 //!
 //! Rules operate on an in-memory `(path, content)` list so the unit
 //! tests below can prove each rule fires on a seeded violation, not
@@ -60,9 +67,11 @@ const UNSAFE_ALLOWLIST: &[&str] = &[
     "crates/core/src/prefetch.rs",
     "crates/core/src/sched.rs",
     "crates/core/src/stats.rs",
+    "crates/core/src/topo.rs",
     "crates/core/tests/alloc_steady.rs",
     "crates/csb/src/lookup.rs",
     "crates/obs/tests/alloc_disabled.rs",
+    "crates/serve/tests/alloc_adapt.rs",
     "crates/serve/tests/alloc_write.rs",
     "crates/hash/src/probe.rs",
     "crates/search/src/par.rs",
@@ -139,6 +148,7 @@ fn check_files(files: &[(String, String)]) -> Vec<Violation> {
         check_serve_locks(path, content, &mut out);
         check_serve_stat_atomics(path, content, &mut out);
         check_serve_delta_clone(path, content, &mut out);
+        check_serve_adapt_policy(path, content, &mut out);
     }
     out
 }
@@ -557,6 +567,53 @@ fn check_serve_delta_clone(path: &str, content: &str, out: &mut Vec<Violation>) 
     }
 }
 
+// ---- R7: adaptive dispatch owns group sizes ----
+
+/// The one `crates/serve/src` module allowed to spell a literal
+/// interleave group: the adapt controller, which normalizes `Fixed`
+/// groups through `Interleave::from_group`.
+const ADAPT_CONTROLLER: &str = "crates/serve/src/adapt.rs";
+
+/// Does `line` hardcode `Interleave::Interleaved(<integer literal>)`?
+/// A variable argument (`Interleaved(group)`) is fine — the lint only
+/// rejects groups that cannot have flowed from configuration.
+fn has_hardcoded_group(line: &str) -> Option<usize> {
+    let bytes = line.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = line[from..].find("Interleave::Interleaved(") {
+        let start = from + pos;
+        let mut i = start + "Interleave::Interleaved(".len();
+        while bytes.get(i).is_some_and(u8::is_ascii_whitespace) {
+            i += 1;
+        }
+        if bytes.get(i).is_some_and(u8::is_ascii_digit) {
+            return Some(start);
+        }
+        from = i;
+    }
+    None
+}
+
+fn check_serve_adapt_policy(path: &str, content: &str, out: &mut Vec<Violation>) {
+    if !path.starts_with("crates/serve/src/") || path == ADAPT_CONTROLLER {
+        return;
+    }
+    let code = sanitize(content, true);
+    for (idx, line) in code.lines().enumerate() {
+        if has_hardcoded_group(line).is_some() {
+            out.push(Violation {
+                path: path.to_string(),
+                line: idx + 1,
+                rule: "serve-adapt-policy",
+                msg: "hardcoded interleave group in crates/serve; derive the policy from \
+                      ServeConfig through the adapt Controller (Interleave::from_group) so \
+                      the density feedback loop governs every dispatch site"
+                    .to_string(),
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -813,6 +870,57 @@ mod tests {
         let v = check_files(&fs);
         assert!(
             !rules_fired(&v).contains(&"serve-run-stack"),
+            "{:?}",
+            rules_fired(&v)
+        );
+    }
+
+    #[test]
+    fn hardcoded_group_in_serve_fires() {
+        let fs = files(&[(
+            "crates/serve/src/service.rs",
+            "fn f() -> Interleave {\n    Interleave::Interleaved(6)\n}\n",
+        )]);
+        let v = check_files(&fs);
+        assert!(
+            rules_fired(&v).contains(&"serve-adapt-policy"),
+            "{:?}",
+            rules_fired(&v)
+        );
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn configured_groups_and_controller_module_allowed() {
+        let fs = files(&[
+            // A group that flows from a variable is configuration.
+            (
+                "crates/serve/src/store.rs",
+                "fn f(g: usize) -> Interleave { Interleave::Interleaved(g) }\n",
+            ),
+            // The adapt controller normalizes Fixed groups itself.
+            (
+                "crates/serve/src/adapt.rs",
+                "fn g() -> Interleave { Interleave::Interleaved(4) }\n",
+            ),
+            // Tests and other crates are outside the rule.
+            (
+                "crates/serve/tests/prop_mixed.rs",
+                "const P: Interleave = Interleave::Interleaved(6);\n",
+            ),
+            (
+                "crates/bench/src/serve.rs",
+                "const P: Interleave = Interleave::Interleaved(6);\n",
+            ),
+            // Comments and strings never fire.
+            (
+                "crates/serve/src/plan.rs",
+                "// e.g. Interleave::Interleaved(6)\nconst X: &str = \"Interleave::Interleaved(6)\";\n",
+            ),
+        ]);
+        let v = check_files(&fs);
+        assert!(
+            !rules_fired(&v).contains(&"serve-adapt-policy"),
             "{:?}",
             rules_fired(&v)
         );
